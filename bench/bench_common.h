@@ -1,0 +1,41 @@
+// Shared helpers for the paper-reproduction benchmark harnesses.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// evaluation: it builds the same workload, runs it through the engine (real
+// scheduler + kernel cost model on the simulated device), and prints the
+// measured rows next to the paper's published values so the shape comparison
+// is immediate. Absolute numbers are not expected to match (simulated device
+// vs. the authors' testbed); orderings, ratios, and crossovers are.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "util/table.h"
+
+namespace flashinfer::bench {
+
+inline void Banner(const char* id, const char* title) {
+  std::printf("\n=============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("=============================================================\n");
+}
+
+inline void Note(const char* text) { std::printf("%s\n", text); }
+
+/// "measured (paper X)" cell.
+inline std::string WithPaper(double measured, double paper, int digits = 1) {
+  return AsciiTable::Num(measured, digits) + " (" + AsciiTable::Num(paper, digits) + ")";
+}
+
+inline std::string Pct(double frac, int digits = 0) {
+  return AsciiTable::Num(100.0 * frac, digits);
+}
+
+inline std::string PctWithPaper(double frac, double paper_pct, int digits = 0) {
+  return Pct(frac, digits) + " (" + AsciiTable::Num(paper_pct, digits) + ")";
+}
+
+}  // namespace flashinfer::bench

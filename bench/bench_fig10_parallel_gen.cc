@@ -1,0 +1,74 @@
+// Figure 10 (Sec. 4.4): parallel generation with composable formats.
+//
+// MLC-Engine-style serving with prefix caching: each request generates n
+// parallel continuations of its prompt (the OpenAI "n" parameter). With
+// composable formats the shared prompt is decoded at Br = n x g; without,
+// every sibling re-reads it. The paper's shape: small losses at n = 1
+// (decomposition overhead, nothing shared), peak gains around n = 4, and a
+// plateau at large n where attention stops dominating the step.
+#include "bench_common.h"
+#include "serving/engine.h"
+
+using namespace flashinfer;
+using namespace flashinfer::serving;
+
+namespace {
+
+struct PaperDeltas {
+  double itl[7];
+  double ttft[7];
+};
+
+void RunModel(const char* name, const ModelSpec& model, double request_rate,
+              const PaperDeltas& paper) {
+  std::printf("\n--- %s, request rate %.0f ---\n", name, request_rate);
+  AsciiTable t({"n", "single ITL (ms)", "composable ITL (ms)", "ITL gain (paper)",
+                "single TTFT (ms)", "composable TTFT (ms)", "TTFT gain (paper)"});
+  const int ns[] = {1, 2, 4, 8, 16, 32, 64};
+  for (int i = 0; i < 7; ++i) {
+    const int n = ns[i];
+    Rng rng(1000 + n);
+    // Fixed request rate of 16 in the paper; fewer requests for large n to
+    // keep the simulation bounded.
+    const int num_requests = std::max(20, 120 / n);
+    auto workload = ShareGptWorkload(rng, num_requests, request_rate, n);
+
+    EngineConfig cfg;
+    cfg.model = model;
+    cfg.device = gpusim::H100Sxm80GB();
+    cfg.backend = FlashInferBackend();
+    cfg.backend.composable = false;
+    const auto single = ServingEngine(cfg).Run(workload);
+    cfg.backend.composable = true;
+    const auto comp = ServingEngine(cfg).Run(workload);
+
+    const double itl_gain =
+        100.0 * (single.MedianItlMs() - comp.MedianItlMs()) / single.MedianItlMs();
+    const double ttft_gain =
+        100.0 * (single.MedianTtftMs() - comp.MedianTtftMs()) / single.MedianTtftMs();
+    t.AddRow({std::to_string(n), AsciiTable::Num(single.MedianItlMs(), 2),
+              AsciiTable::Num(comp.MedianItlMs(), 2),
+              AsciiTable::SignedPct(itl_gain, 1) + " (" +
+                  AsciiTable::SignedPct(paper.itl[i], 1) + ")",
+              AsciiTable::Num(single.MedianTtftMs(), 1),
+              AsciiTable::Num(comp.MedianTtftMs(), 1),
+              AsciiTable::SignedPct(ttft_gain, 1) + " (" +
+                  AsciiTable::SignedPct(paper.ttft[i], 1) + ")"});
+  }
+  t.Print();
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Figure 10", "parallel generation: composable vs single format");
+  bench::Note("ShareGPT-like prompts, n parallel continuations; gain = composable advantage");
+
+  const PaperDeltas paper_8b = {{-10.34, 15.95, 13.73, 9.14, 2.96, 0.97, -2.13},
+                                {-7.32, 12.86, 16.41, 10.08, 2.70, 0.94, -0.84}};
+  const PaperDeltas paper_70b = {{-18.56, -2.00, 17.42, 9.01, 5.03, 10.09, 0.96},
+                                 {3.90, 3.95, 22.86, 8.42, 4.69, 9.35, 2.32}};
+  RunModel("Llama 3.1 8B Instruct (1xH100)", Llama31_8B(), 16.0, paper_8b);
+  RunModel("Llama 3.1 70B Instruct (4xH100)", Llama31_70B(4), 16.0, paper_70b);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Table 5 (Appendix G.2): shared-prefix attention kernels.
+//
+// Batch decode where every request shares one prefix (suffix length 128).
+// Composable format: the prefix is processed once per group at Br = batch
+// (shared-memory reuse); single format: every request's CTA re-reads the
+// prefix (first read from HBM, repeats from L2). The composable advantage
+// grows with prefix length and batch size.
+#include "bench_common.h"
+#include "serving/backends.h"
+
+using namespace flashinfer;
+using namespace flashinfer::serving;
+using bench::WithPaper;
+
+namespace {
+
+double KernelLatencyUs(const gpusim::DeviceSpec& dev, int batch, int64_t prefix,
+                       bool composable) {
+  AttnSimInput in;
+  in.qo_lens.assign(static_cast<size_t>(batch), 1);
+  in.kv_lens.assign(static_cast<size_t>(batch), prefix + 128);
+  in.num_qo_heads = 32;
+  in.num_kv_heads = 32;
+  in.head_dim = 128;
+  auto backend = FlashInferBackend();
+  if (composable) {
+    backend.composable = true;
+    AttnSimInput::Group g;
+    g.prefix_len = prefix;
+    for (int i = 0; i < batch; ++i) g.members.push_back(i);
+    in.groups.push_back(g);
+  } else {
+    // Single format: all CTAs read the same prefix pages; all but the first
+    // read hit L2.
+    const double dup = static_cast<double>(prefix) * (batch - 1);
+    const double total = static_cast<double>(prefix + 128) * batch;
+    in.kv_l2_fraction = dup / total;
+  }
+  return SimulateBatchAttention(dev, backend, in).time_us;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Table 5", "shared-prefix kernels: composable vs single format (latency, us)");
+  bench::Note("32 heads, head_dim 128, suffix 128, H100 SXM; cells: measured (paper)");
+  const auto dev = gpusim::H100Sxm80GB();
+
+  const int64_t prefixes[] = {1024, 8192, 32768};
+  const double paper[3][4] = {
+      // composable BS16, single BS16, composable BS64, single BS64
+      {45.17, 46.52, 87.86, 130.49},
+      {88.67, 226.57, 125.76, 931.75},
+      {217.42, 945.67, 254.54, 4090.0},
+  };
+
+  AsciiTable t({"prefix len", "composable (BS=16)", "single (BS=16)", "composable (BS=64)",
+                "single (BS=64)"});
+  for (size_t i = 0; i < std::size(prefixes); ++i) {
+    const int64_t prefix = prefixes[i];
+    t.AddRow({std::to_string(prefix),
+              WithPaper(KernelLatencyUs(dev, 16, prefix, true), paper[i][0]),
+              WithPaper(KernelLatencyUs(dev, 16, prefix, false), paper[i][1]),
+              WithPaper(KernelLatencyUs(dev, 64, prefix, true), paper[i][2]),
+              WithPaper(KernelLatencyUs(dev, 64, prefix, false), paper[i][3])});
+  }
+  t.Print();
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "core/attention_state.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace flashinfer {
+
+void MergeStateInPlace(std::span<float> o_acc, float& lse_acc, std::span<const float> o,
+                       float lse) {
+  FI_CHECK_EQ(o_acc.size(), o.size());
+  // Handle identity operands without arithmetic on -inf.
+  if (std::isinf(lse) && lse < 0) return;
+  if (std::isinf(lse_acc) && lse_acc < 0) {
+    std::copy(o.begin(), o.end(), o_acc.begin());
+    lse_acc = lse;
+    return;
+  }
+  const float m = std::max(lse_acc, lse);
+  const float w_acc = std::exp(lse_acc - m);
+  const float w = std::exp(lse - m);
+  const float denom = w_acc + w;
+  for (size_t i = 0; i < o_acc.size(); ++i) {
+    o_acc[i] = (w_acc * o_acc[i] + w * o[i]) / denom;
+  }
+  lse_acc = m + std::log(denom);
+}
+
+void MergeState(AttentionState& acc, const AttentionState& other) {
+  MergeStateInPlace(acc.o, acc.lse, other.o, other.lse);
+}
+
+AttentionState MergeAll(std::span<const AttentionState> states, int head_dim) {
+  AttentionState acc = AttentionState::Identity(head_dim);
+  for (const auto& s : states) MergeState(acc, s);
+  return acc;
+}
+
+}  // namespace flashinfer

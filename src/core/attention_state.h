@@ -1,0 +1,43 @@
+// Attention-state algebra (Sec. 2.2, Block-Parallel Transformer).
+//
+// The canonical output of an attention computation over an index set I is the
+// pair (O(I), LSE(I)): the softmax-normalized output and the log-sum-exp of
+// the raw scores. States over disjoint index sets compose with the ⊕
+// operator, which is associative and commutative — the engine's standard
+// reduction (what summation is to GEMM). Split-KV partial outputs and
+// composable-format level outputs are merged with ⊕ by the contraction
+// kernel in a deterministic order.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace flashinfer {
+
+/// Attention state for one (query row, head): normalized output vector plus
+/// the attention scale LSE(I) = log sum_i exp(q·k_i).
+struct AttentionState {
+  std::vector<float> o;
+  float lse = -std::numeric_limits<float>::infinity();
+
+  /// The ⊕-identity: empty index set (lse = -inf, o = 0).
+  static AttentionState Identity(int head_dim) {
+    AttentionState s;
+    s.o.assign(static_cast<size_t>(head_dim), 0.0f);
+    return s;
+  }
+};
+
+/// In-place ⊕: acc = acc ⊕ other. `acc.o` and `other.o` must have equal size.
+void MergeState(AttentionState& acc, const AttentionState& other);
+
+/// Raw-buffer ⊕ used by kernels: (o_acc[0..d), lse_acc) ⊕= (o[0..d), lse).
+void MergeStateInPlace(std::span<float> o_acc, float& lse_acc, std::span<const float> o,
+                       float lse);
+
+/// Merges states over a list (left fold, deterministic order).
+AttentionState MergeAll(std::span<const AttentionState> states, int head_dim);
+
+}  // namespace flashinfer

@@ -1,0 +1,78 @@
+#include "core/contraction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/attention_state.h"
+#include "util/check.h"
+
+namespace flashinfer {
+
+namespace {
+
+void MergeOneTask(const AttentionParams& p, const ReductionMap& rmap,
+                  const ReductionMap::Task& task, const PartialSink& partials,
+                  bool use_softmax) {
+  const int d = p.head_dim;
+  float* out = p.o->Row(task.token_row).data() + static_cast<int64_t>(task.qo_head) * d;
+  if (use_softmax) {
+    std::vector<float> acc(static_cast<size_t>(d), 0.0f);
+    float lse_acc = -std::numeric_limits<float>::infinity();
+    for (int32_t i = 0; i < task.count; ++i) {
+      const int32_t slot = rmap.slots[static_cast<size_t>(task.begin + i)];
+      const float* o = partials.o + static_cast<int64_t>(slot) * d;
+      MergeStateInPlace({acc.data(), static_cast<size_t>(d)}, lse_acc,
+                        {o, static_cast<size_t>(d)}, partials.lse[slot]);
+    }
+    for (int dd = 0; dd < d; ++dd) out[dd] = acc[dd];
+    if (p.lse != nullptr) {
+      (*p.lse)[static_cast<size_t>(task.token_row) * p.num_qo_heads + task.qo_head] = lse_acc;
+    }
+  } else {
+    // No-softmax variants compose by summation.
+    for (int dd = 0; dd < d; ++dd) out[dd] = 0.0f;
+    for (int32_t i = 0; i < task.count; ++i) {
+      const int32_t slot = rmap.slots[static_cast<size_t>(task.begin + i)];
+      const float* o = partials.o + static_cast<int64_t>(slot) * d;
+      for (int dd = 0; dd < d; ++dd) out[dd] += o[dd];
+    }
+  }
+}
+
+}  // namespace
+
+gpusim::SimReport RunContraction(const AttentionParams& p, const ReductionMap& rmap,
+                                 const PartialSink& partials, bool use_softmax,
+                                 const gpusim::SimExecutor* sim, const CostContext* cc) {
+  const int num_tasks = static_cast<int>(rmap.tasks.size());
+  if (num_tasks == 0) return {};
+
+  if (sim == nullptr) {
+    for (const auto& task : rmap.tasks) {
+      MergeOneTask(p, rmap, task, partials, use_softmax);
+    }
+    return {};
+  }
+
+  // Persistent contraction kernel: grid fixed at the SM count, tasks strided
+  // across CTAs (deterministic assignment).
+  const int num_ctas = std::min(num_tasks, sim->device().num_sms);
+  return sim->Launch(num_ctas, gpusim::Occupancy{1}, [&](int cta, gpusim::CtaCost& cost) {
+    for (int t = cta; t < num_tasks; t += num_ctas) {
+      const auto& task = rmap.tasks[static_cast<size_t>(t)];
+      MergeOneTask(p, rmap, task, partials, use_softmax);
+      if (cc != nullptr && cc->dev != nullptr) {
+        gpusim::WorkCost wc;
+        // Read `count` partial rows (fp32 O + LSE), write one fp16 row.
+        wc.hbm_bytes = static_cast<double>(task.count) * (p.head_dim + 1) * 4.0 +
+                       static_cast<double>(p.head_dim) * 2.0;
+        wc.cuda_flops = static_cast<double>(task.count) * (2.0 * p.head_dim + 8.0);
+        cost.Charge(*cc->dev, cc->eff, wc, cc->kv_bytes, num_ctas,
+                    gpusim::kMergeRowOverheadUs);
+      }
+    }
+  });
+}
+
+}  // namespace flashinfer

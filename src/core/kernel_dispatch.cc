@@ -1,0 +1,50 @@
+#include "core/kernel_dispatch.h"
+
+#include "core/microkernel.h"
+
+namespace flashinfer {
+
+namespace {
+
+template <typename Variant>
+WorkItemFn SelectForDtype(DType kv_dtype) {
+  switch (kv_dtype) {
+    case DType::kF32:
+      return &RunWorkItem<float, Variant>;
+    case DType::kF16:
+      return &RunWorkItem<half_t, Variant>;
+    case DType::kBF16:
+      return &RunWorkItem<bf16_t, Variant>;
+    case DType::kFP8_E4M3:
+      return &RunWorkItem<fp8_e4m3_t, Variant>;
+    case DType::kFP8_E5M2:
+      return &RunWorkItem<fp8_e5m2_t, Variant>;
+  }
+  FI_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace
+
+WorkItemFn GetBuiltinKernel(VariantKind kind, DType kv_dtype) {
+  switch (kind) {
+    case VariantKind::kVanilla:
+      return SelectForDtype<VanillaVariant>(kv_dtype);
+    case VariantKind::kSoftCap:
+      return SelectForDtype<SoftCapVariant>(kv_dtype);
+    case VariantKind::kAlibi:
+      return SelectForDtype<AlibiVariant>(kv_dtype);
+    case VariantKind::kSlidingWindow:
+      return SelectForDtype<SlidingWindowVariant>(kv_dtype);
+    case VariantKind::kStreamingLlm:
+      return SelectForDtype<StreamingLlmVariant>(kv_dtype);
+    case VariantKind::kSigmoid:
+      return SelectForDtype<SigmoidVariant>(kv_dtype);
+    case VariantKind::kFusedRope:
+      return SelectForDtype<FusedRopeVariant>(kv_dtype);
+  }
+  FI_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace flashinfer

@@ -1,0 +1,26 @@
+#include "core/reference.h"
+
+namespace flashinfer {
+
+void ReferenceAttentionKind(VariantKind kind, const AttentionParams& p, RaggedTensor* out,
+                            std::vector<float>* lse_out) {
+  switch (kind) {
+    case VariantKind::kVanilla:
+      return ReferenceAttention<VanillaVariant>(p, out, lse_out);
+    case VariantKind::kSoftCap:
+      return ReferenceAttention<SoftCapVariant>(p, out, lse_out);
+    case VariantKind::kAlibi:
+      return ReferenceAttention<AlibiVariant>(p, out, lse_out);
+    case VariantKind::kSlidingWindow:
+      return ReferenceAttention<SlidingWindowVariant>(p, out, lse_out);
+    case VariantKind::kStreamingLlm:
+      return ReferenceAttention<StreamingLlmVariant>(p, out, lse_out);
+    case VariantKind::kSigmoid:
+      return ReferenceAttention<SigmoidVariant>(p, out, lse_out);
+    case VariantKind::kFusedRope:
+      return ReferenceAttention<FusedRopeVariant>(p, out, lse_out);
+  }
+  FI_CHECK(false);
+}
+
+}  // namespace flashinfer

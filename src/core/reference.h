@@ -1,0 +1,135 @@
+// Double-precision reference attention used to validate the tiled kernels.
+//
+// Computes exact two-pass softmax attention per (request, token, head)
+// directly from the paged cache through the same BSR view (so masks, pruned
+// pages and position offsets are honored) and through the same variant hooks
+// as the micro-kernel. Deliberately simple and slow.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/params.h"
+#include "core/variants.h"
+#include "util/check.h"
+
+namespace flashinfer {
+
+template <typename Variant>
+void ReferenceAttention(const AttentionParams& p, RaggedTensor* out,
+                        std::vector<float>* lse_out = nullptr) {
+  const Variant variant;
+  const auto& bsr = *p.bsr;
+  const auto& kvc = *p.kv;
+  const int d = p.head_dim;
+  const int g = p.head_fusion ? p.GroupSize() : 1;
+  const int num_reqs = static_cast<int>(p.qo_indptr.size()) - 1;
+
+  // Map every fused row through its block row, mirroring the kernel.
+  int64_t block_row = 0;
+  for (int r = 0; r < num_reqs; ++r) {
+    const int64_t qo_len = p.QoLen(r);
+    const int64_t kv_len = p.kv_len[static_cast<size_t>(r)];
+    const int64_t fused_rows = qo_len * (p.head_fusion ? g : 1);
+    const int64_t fused_begin = p.FusedBegin(r);
+    for (int64_t local = 0; local < fused_rows; ++local) {
+      const int64_t fused = fused_begin + local;
+      // Advance to the block row containing `fused`.
+      while (bsr.row_start[static_cast<size_t>(block_row) + 1] <= fused) ++block_row;
+      const int64_t token_local = p.head_fusion ? local / g : local;
+      const int64_t token_row = p.qo_indptr[static_cast<size_t>(r)] + token_local;
+      const int64_t q_pos = kv_len - qo_len + token_local;
+      const int head_lo = p.head_fusion ? static_cast<int>(local % g) : 0;
+
+      // Head iteration: fused rows carry one (kv_head-relative) head; unfused
+      // rows repeat for every qo head.
+      const int num_kv_heads = p.num_kv_heads;
+      for (int kv_head = 0; kv_head < num_kv_heads; ++kv_head) {
+        const int head_count = p.head_fusion ? 1 : p.GroupSize();
+        for (int hh = 0; hh < head_count; ++hh) {
+          const int qo_head =
+              p.head_fusion ? kv_head * g + head_lo : kv_head * p.GroupSize() + hh;
+          // Load + transform the query.
+          std::vector<float> q(static_cast<size_t>(d));
+          {
+            const float* src = p.q->Row(token_row).data() + static_cast<int64_t>(qo_head) * d;
+            std::copy(src, src + d, q.begin());
+            variant.QueryTransform(p.variant, {q.data(), q.size()}, q_pos, qo_head);
+          }
+
+          // Pass 1: collect logits and value rows.
+          std::vector<double> scores;
+          std::vector<std::vector<float>> values;
+          LogitsCtx ctx;
+          ctx.q_pos = q_pos;
+          ctx.qo_head = qo_head;
+          ctx.kv_head = kv_head;
+          ctx.qo_len = qo_len;
+          ctx.kv_len = kv_len;
+          ctx.request = r;
+          for (int64_t e = bsr.indptr[static_cast<size_t>(block_row)];
+               e < bsr.indptr[static_cast<size_t>(block_row) + 1]; ++e) {
+            const int64_t page = bsr.indices[static_cast<size_t>(e)];
+            const int valid = bsr.block_valid[static_cast<size_t>(e)];
+            for (int t = 0; t < valid; ++t) {
+              ctx.kv_pos = bsr.block_pos[static_cast<size_t>(e)] + t;
+              if (!variant.LogitsMask(p.variant, ctx)) continue;
+              std::vector<float> k(static_cast<size_t>(d)), v(static_cast<size_t>(d));
+              for (int dd = 0; dd < d; ++dd) {
+                k[static_cast<size_t>(dd)] = kvc.KAt(page, kv_head, t, dd);
+                v[static_cast<size_t>(dd)] = kvc.VAt(page, kv_head, t, dd);
+              }
+              variant.KeyTransform(p.variant, {k.data(), k.size()}, ctx.kv_pos, kv_head);
+              double logit = 0.0;
+              for (int dd = 0; dd < d; ++dd) logit += static_cast<double>(q[dd]) * k[dd];
+              scores.push_back(static_cast<double>(
+                  variant.LogitsTransform(p.variant, static_cast<float>(logit), ctx)));
+              values.push_back(std::move(v));
+            }
+          }
+
+          // Pass 2: exact softmax (or plain weighting) in double precision.
+          std::vector<double> o(static_cast<size_t>(d), 0.0);
+          double lse = -std::numeric_limits<double>::infinity();
+          if constexpr (Variant::kUseSoftmax) {
+            if (!scores.empty()) {
+              double m = scores[0];
+              for (double sc : scores) m = std::max(m, sc);
+              double den = 0.0;
+              for (double sc : scores) den += std::exp(sc - m);
+              for (size_t i = 0; i < scores.size(); ++i) {
+                const double w = std::exp(scores[i] - m) / den;
+                for (int dd = 0; dd < d; ++dd) o[static_cast<size_t>(dd)] += w * values[i][static_cast<size_t>(dd)];
+              }
+              lse = m + std::log(den);
+            }
+          } else {
+            for (size_t i = 0; i < scores.size(); ++i) {
+              for (int dd = 0; dd < d; ++dd) {
+                o[static_cast<size_t>(dd)] += scores[i] * values[i][static_cast<size_t>(dd)];
+              }
+            }
+            lse = 0.0;
+          }
+
+          float* dst = out->Row(token_row).data() + static_cast<int64_t>(qo_head) * d;
+          std::vector<float> of(static_cast<size_t>(d));
+          for (int dd = 0; dd < d; ++dd) of[static_cast<size_t>(dd)] = static_cast<float>(o[static_cast<size_t>(dd)]);
+          variant.OutputTransform(p.variant, {of.data(), of.size()}, q_pos, qo_head);
+          for (int dd = 0; dd < d; ++dd) dst[dd] = of[static_cast<size_t>(dd)];
+          if (lse_out != nullptr) {
+            (*lse_out)[static_cast<size_t>(token_row) * p.num_qo_heads + qo_head] =
+                static_cast<float>(lse);
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Runtime-dispatched reference over the built-in variant kinds.
+void ReferenceAttentionKind(VariantKind kind, const AttentionParams& p, RaggedTensor* out,
+                            std::vector<float>* lse_out = nullptr);
+
+}  // namespace flashinfer

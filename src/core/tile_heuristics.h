@@ -1,0 +1,64 @@
+// Tile-size selection heuristics and the kernel efficiency/occupancy model
+// (Sec. 3.2.2).
+//
+// FlashInfer ships the FA2 algorithm at tile sizes (1,16,32,64,128) x
+// (32,64,128) and picks per workload: the minimal query tile covering the
+// average (head-group-fused) query length, then the KV tile that maximizes
+// SM occupancy under shared-memory constraints. The efficiency model maps a
+// (template, tile, storage-path) choice to achieved fractions of peak — the
+// numbers are calibrated against the paper's Appendix B measurements (Fig.
+// 12) and drive every simulated utilization result.
+#pragma once
+
+#include "core/params.h"
+#include "gpusim/cost.h"
+#include "gpusim/device.h"
+#include "gpusim/executor.h"
+
+namespace flashinfer {
+
+/// Smallest tile in {1, 16, 32, 64, 128} >= the average fused query length
+/// (for FA3, row tiles are multiples of 64 per WGMMA; handled by the caller
+/// via SelectKernelConfig).
+int SelectQueryTileSize(double avg_fused_qlen) noexcept;
+
+/// Shared-memory footprint of one CTA for this configuration, bytes
+/// (Q tile in fp16 + double-buffered K/V tiles at KV width).
+int64_t SmemBytes(const KernelConfig& cfg, int head_dim, int kv_bytes) noexcept;
+
+/// CTAs per SM given shared-memory limits (capped at 4; Hopper persistent
+/// kernels run 1, Ampere tensor kernels typically <= 2 — Appendix D.3).
+gpusim::Occupancy OccupancyModel(const gpusim::DeviceSpec& dev, const KernelConfig& cfg,
+                                 int head_dim, int kv_bytes) noexcept;
+
+/// Memory-level-parallelism factor: fraction of an SM's bandwidth share
+/// reachable with `resident` CTAs in flight on it. Oversized tiles limit
+/// residency to 1 and strand ~40% of the SM's achievable bandwidth — the
+/// mechanism behind FlashAttention's decode underutilization (Sec. 4.2).
+double MemoryParallelismFactor(int resident) noexcept;
+
+/// Concrete launch shape: how many CTAs are actually resident per SM for a
+/// grid of `grid_ctas`, the resulting device-sharing slot count, and the
+/// bandwidth derating to apply on top of the kernel's base efficiency.
+struct LaunchShape {
+  int resident = 1;      // CTAs per SM actually in flight.
+  int slots = 1;         // Device-rate sharing divisor (num_sms x resident).
+  double mem_scale = 1.0;  // MemoryParallelismFactor(resident).
+};
+LaunchShape ResidencyModel(const gpusim::DeviceSpec& dev, const gpusim::Occupancy& occ,
+                           int64_t grid_ctas) noexcept;
+
+/// Achieved-efficiency model for a kernel instantiation. Memory efficiency
+/// degrades at low occupancy (insufficient memory-level parallelism — the
+/// reason oversized decode tiles underperform, Sec. 4.2); compute efficiency
+/// scales with tile size and template generation; the sparse-gather path
+/// pays the Appendix B penalty (no TMA on Hopper, more registers).
+gpusim::KernelEfficiency EfficiencyModel(const gpusim::DeviceSpec& dev, const KernelConfig& cfg,
+                                         int head_dim, int kv_bytes) noexcept;
+
+/// Full heuristic: choose template from the device, query tile from the
+/// average fused query length, and KV tile maximizing occupancy.
+KernelConfig SelectKernelConfig(const gpusim::DeviceSpec& dev, double avg_fused_qlen,
+                                int head_dim, int kv_bytes, bool sparse) noexcept;
+
+}  // namespace flashinfer

@@ -1,0 +1,39 @@
+#include "gpusim/device.h"
+
+namespace flashinfer::gpusim {
+
+DeviceSpec H100Sxm80GB() {
+  DeviceSpec d;
+  d.name = "H100 SXM 80GB";
+  d.num_sms = 132;
+  d.hbm_gbps = 3350.0;
+  d.l2_gbps = 12000.0;
+  d.fp16_tflops = 989.0;
+  d.fp32_tflops = 67.0;
+  d.smem_per_sm_kb = 228;
+  d.regs_per_sm = 65536;
+  d.kernel_launch_us = 3.0;
+  d.work_item_overhead_us = 0.5;
+  d.has_tma = true;
+  d.max_template = TemplateGen::kFA3;
+  return d;
+}
+
+DeviceSpec A100Sxm40GB() {
+  DeviceSpec d;
+  d.name = "A100 SXM 40GB";
+  d.num_sms = 108;
+  d.hbm_gbps = 1555.0;
+  d.l2_gbps = 6000.0;
+  d.fp16_tflops = 312.0;
+  d.fp32_tflops = 19.5;
+  d.smem_per_sm_kb = 164;
+  d.regs_per_sm = 65536;
+  d.kernel_launch_us = 3.0;
+  d.work_item_overhead_us = 0.6;
+  d.has_tma = false;
+  d.max_template = TemplateGen::kFA2;
+  return d;
+}
+
+}  // namespace flashinfer::gpusim

@@ -1,0 +1,51 @@
+#include "gpusim/graph.h"
+
+#include "util/check.h"
+
+namespace flashinfer::gpusim {
+
+void CudaGraph::BeginCapture() {
+  FI_CHECK(!capturing_);
+  capturing_ = true;
+  instantiated_ = false;
+  nodes_.clear();
+  slot_index_.clear();
+}
+
+void CudaGraph::AddLaunch(std::string slot, std::vector<const void*> param_ptrs,
+                          std::function<SimReport()> launch) {
+  FI_CHECK(capturing_);
+  const auto it = slot_index_.find(slot);
+  if (it != slot_index_.end()) {
+    // Re-captured slot within one graph (e.g. same layer launched twice):
+    // pointers must match the earlier capture.
+    FI_CHECK(nodes_[it->second].param_ptrs == param_ptrs);
+  } else {
+    slot_index_.emplace(slot, nodes_.size());
+  }
+  nodes_.push_back(Node{std::move(slot), std::move(param_ptrs), std::move(launch)});
+}
+
+void CudaGraph::EndCapture() {
+  FI_CHECK(capturing_);
+  capturing_ = false;
+  instantiated_ = true;
+}
+
+bool CudaGraph::ValidateSlot(const std::string& slot,
+                             const std::vector<const void*>& param_ptrs) const {
+  const auto it = slot_index_.find(slot);
+  if (it == slot_index_.end()) return false;
+  return nodes_[it->second].param_ptrs == param_ptrs;
+}
+
+SimReport CudaGraph::Replay() const {
+  FI_CHECK(instantiated_);
+  SimReport combined;
+  for (const auto& node : nodes_) {
+    combined.Append(node.launch());
+  }
+  return combined;
+}
+
+}  // namespace flashinfer::gpusim

@@ -1,0 +1,63 @@
+// CUDAGraph analog (Sec. 3.3 / Appendix D.1).
+//
+// A captured graph freezes a sequence of kernel launches with their argument
+// pointers. Replay re-executes the same launches with the same pointers; the
+// only thing allowed to change between replays is the *contents* of those
+// buffers (the runtime scheduler rewrites plan data in place inside the
+// workspace). Capture validates pointer stability: registering a different
+// pointer for an already-captured slot is an error, mirroring the CUDA
+// requirement that captured kernel parameters are immutable.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gpusim/cost.h"
+
+namespace flashinfer::gpusim {
+
+class CudaGraph {
+ public:
+  CudaGraph() = default;
+
+  /// Begins capture. Launches added between Begin and End are recorded.
+  void BeginCapture();
+
+  /// Records a launch. `param_ptrs` are the raw argument pointers the kernel
+  /// was captured with; `slot` names the logical argument set (e.g.
+  /// "layer3.decode") so replays can verify stability.
+  /// Outside capture mode this is an error.
+  void AddLaunch(std::string slot, std::vector<const void*> param_ptrs,
+                 std::function<SimReport()> launch);
+
+  /// Ends capture; the graph becomes replayable.
+  void EndCapture();
+
+  bool capturing() const noexcept { return capturing_; }
+  bool instantiated() const noexcept { return instantiated_; }
+  int num_nodes() const noexcept { return static_cast<int>(nodes_.size()); }
+
+  /// Verifies that `param_ptrs` for `slot` match what was captured. Returns
+  /// false on mismatch (caller must re-capture, as with real CUDAGraphs).
+  bool ValidateSlot(const std::string& slot,
+                    const std::vector<const void*>& param_ptrs) const;
+
+  /// Replays every captured launch in order and returns the combined report.
+  SimReport Replay() const;
+
+ private:
+  struct Node {
+    std::string slot;
+    std::vector<const void*> param_ptrs;
+    std::function<SimReport()> launch;
+  };
+
+  bool capturing_ = false;
+  bool instantiated_ = false;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::string, size_t> slot_index_;
+};
+
+}  // namespace flashinfer::gpusim

@@ -1,0 +1,176 @@
+#include "kvcache/paged.h"
+
+#include <algorithm>
+
+namespace flashinfer {
+
+PagedKVCache::PagedKVCache(DType dtype, int num_kv_heads, int head_dim, int page_size,
+                           int64_t max_pages)
+    : dtype_(dtype),
+      num_kv_heads_(num_kv_heads),
+      head_dim_(head_dim),
+      page_size_(page_size),
+      max_pages_(max_pages) {
+  FI_CHECK_GE(num_kv_heads, 1);
+  FI_CHECK_GE(head_dim, 1);
+  FI_CHECK_GE(page_size, 1);
+  FI_CHECK_GE(max_pages, 1);
+  elems_per_page_ = 2LL * num_kv_heads_ * page_size_ * head_dim_;
+  data_.resize(static_cast<size_t>(elems_per_page_ * max_pages_ * DTypeBytes(dtype_)));
+  ref_.assign(static_cast<size_t>(max_pages_), 0);
+  free_list_.reserve(static_cast<size_t>(max_pages_));
+  for (int64_t p = max_pages_ - 1; p >= 0; --p) free_list_.push_back(p);
+}
+
+int64_t PagedKVCache::AllocPage() {
+  FI_CHECK(!free_list_.empty());
+  const int64_t page = free_list_.back();
+  free_list_.pop_back();
+  ref_[static_cast<size_t>(page)] = 1;
+  return page;
+}
+
+void PagedKVCache::RetainPage(int64_t page) {
+  FI_CHECK_GT(ref_[static_cast<size_t>(page)], 0);
+  ++ref_[static_cast<size_t>(page)];
+}
+
+void PagedKVCache::ReleasePage(int64_t page) {
+  auto& r = ref_[static_cast<size_t>(page)];
+  FI_CHECK_GT(r, 0);
+  if (--r == 0) free_list_.push_back(page);
+}
+
+int PagedKVCache::RefCount(int64_t page) const {
+  return ref_[static_cast<size_t>(page)];
+}
+
+int PagedKVCache::CreateSequence() {
+  // Reuse a dead slot if any.
+  for (size_t i = 0; i < seqs_.size(); ++i) {
+    if (!seqs_[i].live) {
+      seqs_[i] = Sequence{{}, 0, true};
+      return static_cast<int>(i);
+    }
+  }
+  seqs_.push_back(Sequence{{}, 0, true});
+  return static_cast<int>(seqs_.size() - 1);
+}
+
+void PagedKVCache::AppendTokens(int seq, const float* k, const float* v, int64_t count) {
+  auto& s = seqs_.at(static_cast<size_t>(seq));
+  FI_CHECK(s.live);
+  for (int64_t t = 0; t < count; ++t) {
+    const int slot = static_cast<int>(s.length % page_size_);
+    if (slot == 0) s.pages.push_back(AllocPage());
+    const int64_t page = s.pages.back();
+    SetToken(page, slot, k + t * num_kv_heads_ * head_dim_, v + t * num_kv_heads_ * head_dim_);
+    ++s.length;
+  }
+}
+
+void PagedKVCache::AdoptPrefix(int seq, const std::vector<int64_t>& pages, int64_t token_count) {
+  auto& s = seqs_.at(static_cast<size_t>(seq));
+  FI_CHECK(s.live);
+  FI_CHECK_EQ(s.length, 0);
+  FI_CHECK_LE(token_count, static_cast<int64_t>(pages.size()) * page_size_);
+  // Shared prefixes must end on a page boundary: a partially-filled shared
+  // page cannot be appended to by two sequences.
+  FI_CHECK_EQ(token_count % page_size_, 0);
+  for (int64_t p : pages) RetainPage(p);
+  s.pages = pages;
+  s.length = token_count;
+}
+
+void PagedKVCache::DropSequence(int seq) {
+  auto& s = seqs_.at(static_cast<size_t>(seq));
+  FI_CHECK(s.live);
+  for (int64_t p : s.pages) ReleasePage(p);
+  s = Sequence{};
+}
+
+int64_t PagedKVCache::SequenceLength(int seq) const {
+  return seqs_.at(static_cast<size_t>(seq)).length;
+}
+
+const std::vector<int64_t>& PagedKVCache::SequencePages(int seq) const {
+  return seqs_.at(static_cast<size_t>(seq)).pages;
+}
+
+int PagedKVCache::LastPageLen(int seq) const {
+  const auto& s = seqs_.at(static_cast<size_t>(seq));
+  if (s.length == 0) return 0;
+  const int rem = static_cast<int>(s.length % page_size_);
+  return rem == 0 ? page_size_ : rem;
+}
+
+sparse::RequestKv PagedKVCache::ExportKv(int seq, int64_t pos_offset) const {
+  const auto& s = seqs_.at(static_cast<size_t>(seq));
+  FI_CHECK(s.live);
+  sparse::RequestKv kv;
+  kv.pages = s.pages;
+  kv.last_page_len = LastPageLen(seq);
+  kv.pos_offset = pos_offset;
+  return kv;
+}
+
+float PagedKVCache::LoadElem(int64_t elem_offset) const noexcept {
+  switch (dtype_) {
+    case DType::kF32:
+      return reinterpret_cast<const float*>(data_.data())[elem_offset];
+    case DType::kF16:
+      return ToFloat(reinterpret_cast<const half_t*>(data_.data())[elem_offset]);
+    case DType::kBF16:
+      return ToFloat(reinterpret_cast<const bf16_t*>(data_.data())[elem_offset]);
+    case DType::kFP8_E4M3:
+      return ToFloat(reinterpret_cast<const fp8_e4m3_t*>(data_.data())[elem_offset]);
+    case DType::kFP8_E5M2:
+      return ToFloat(reinterpret_cast<const fp8_e5m2_t*>(data_.data())[elem_offset]);
+  }
+  return 0.0f;
+}
+
+void PagedKVCache::StoreElem(int64_t elem_offset, float v) noexcept {
+  switch (dtype_) {
+    case DType::kF32:
+      reinterpret_cast<float*>(data_.data())[elem_offset] = v;
+      return;
+    case DType::kF16:
+      reinterpret_cast<half_t*>(data_.data())[elem_offset] = half_t(v);
+      return;
+    case DType::kBF16:
+      reinterpret_cast<bf16_t*>(data_.data())[elem_offset] = bf16_t(v);
+      return;
+    case DType::kFP8_E4M3:
+      reinterpret_cast<fp8_e4m3_t*>(data_.data())[elem_offset] = fp8_e4m3_t(v);
+      return;
+    case DType::kFP8_E5M2:
+      reinterpret_cast<fp8_e5m2_t*>(data_.data())[elem_offset] = fp8_e5m2_t(v);
+      return;
+  }
+}
+
+float PagedKVCache::KAt(int64_t page, int head, int slot, int d) const noexcept {
+  return LoadElem(KOffset(page, head, slot) + d);
+}
+
+float PagedKVCache::VAt(int64_t page, int head, int slot, int d) const noexcept {
+  return LoadElem(VOffset(page, head, slot) + d);
+}
+
+void PagedKVCache::SetToken(int64_t page, int slot, const float* k, const float* v) {
+  FI_CHECK_GE(page, 0);
+  FI_CHECK_LT(page, max_pages_);
+  FI_CHECK_GE(slot, 0);
+  FI_CHECK_LT(slot, page_size_);
+  for (int h = 0; h < num_kv_heads_; ++h) {
+    const int64_t koff = KOffset(page, h, slot);
+    const int64_t voff = VOffset(page, h, slot);
+    for (int d = 0; d < head_dim_; ++d) {
+      StoreElem(koff + d, k[h * head_dim_ + d]);
+      StoreElem(voff + d, v[h * head_dim_ + d]);
+    }
+  }
+}
+
+}  // namespace flashinfer

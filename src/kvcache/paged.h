@@ -1,0 +1,115 @@
+// Paged KV-cache (PagedAttention-style storage, Kwon et al. 2023) backing
+// the unified BSR view of Sec. 3.1.1.
+//
+// Storage is a pool of fixed-size pages; each page holds `page_size` tokens
+// of K and V for all KV heads: layout [2 (K/V)][H_kv][page_size][D], with the
+// head dimension contiguous (mirrors the coalesced 128B loads of Sec. 3.2.1).
+// Pages are reference-counted so radix-tree prefix sharing (kvcache/radix.h)
+// and parallel generation can alias pages across sequences without copies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/bsr.h"
+#include "util/check.h"
+#include "util/float_types.h"
+
+namespace flashinfer {
+
+class PagedKVCache {
+ public:
+  PagedKVCache(DType dtype, int num_kv_heads, int head_dim, int page_size, int64_t max_pages);
+
+  DType dtype() const noexcept { return dtype_; }
+  int num_kv_heads() const noexcept { return num_kv_heads_; }
+  int head_dim() const noexcept { return head_dim_; }
+  int page_size() const noexcept { return page_size_; }
+  int64_t max_pages() const noexcept { return max_pages_; }
+  int64_t num_free_pages() const noexcept { return static_cast<int64_t>(free_list_.size()); }
+  int64_t num_live_pages() const noexcept { return max_pages_ - num_free_pages(); }
+
+  /// Allocates a page with refcount 1. Aborts when the pool is exhausted
+  /// (serving engines must check num_free_pages and evict first).
+  int64_t AllocPage();
+  /// Increments a page's refcount (prefix sharing).
+  void RetainPage(int64_t page);
+  /// Decrements; the page returns to the free list at refcount 0.
+  void ReleasePage(int64_t page);
+  int RefCount(int64_t page) const;
+
+  // --- Sequence API -------------------------------------------------------
+  /// Creates an empty sequence and returns its id.
+  int CreateSequence();
+  /// Appends `count` tokens; k and v are row-major [count, H_kv, D] floats
+  /// (converted to the storage dtype). Allocates pages as needed.
+  void AppendTokens(int seq, const float* k, const float* v, int64_t count);
+  /// Prepends shared pages (e.g. a radix-tree cached prefix); the pages are
+  /// retained. Only valid on a sequence with no tokens yet. `token_count`
+  /// gives how many tokens those pages hold.
+  void AdoptPrefix(int seq, const std::vector<int64_t>& pages, int64_t token_count);
+  /// Releases all pages of a sequence and deletes it.
+  void DropSequence(int seq);
+
+  int64_t SequenceLength(int seq) const;
+  const std::vector<int64_t>& SequencePages(int seq) const;
+  int LastPageLen(int seq) const;
+
+  /// Exports a sequence's page list in the BSR builder's format.
+  sparse::RequestKv ExportKv(int seq, int64_t pos_offset = 0) const;
+
+  // --- Raw access (kernels) ----------------------------------------------
+  /// Typed pointer to the K row of (page, head, slot): `head_dim` elements.
+  template <typename T>
+  const T* KRow(int64_t page, int head, int slot) const noexcept {
+    return reinterpret_cast<const T*>(data_.data()) + KOffset(page, head, slot);
+  }
+  template <typename T>
+  const T* VRow(int64_t page, int head, int slot) const noexcept {
+    return reinterpret_cast<const T*>(data_.data()) + VOffset(page, head, slot);
+  }
+
+  /// Converting accessors for reference code and tests (slow path).
+  float KAt(int64_t page, int head, int slot, int d) const noexcept;
+  float VAt(int64_t page, int head, int slot, int d) const noexcept;
+  /// Writes one token's K/V rows ([H_kv, D] floats each) at (page, slot).
+  void SetToken(int64_t page, int slot, const float* k, const float* v);
+
+  /// Bytes of KV data held by one token (both K and V, all heads).
+  int64_t BytesPerToken() const noexcept {
+    return 2LL * num_kv_heads_ * head_dim_ * DTypeBytes(dtype_);
+  }
+
+ private:
+  struct Sequence {
+    std::vector<int64_t> pages;
+    int64_t length = 0;
+    bool live = false;
+  };
+
+  int64_t KOffset(int64_t page, int head, int slot) const noexcept {
+    return ((page * 2 + 0) * num_kv_heads_ + head) * static_cast<int64_t>(page_size_) *
+               head_dim_ +
+           static_cast<int64_t>(slot) * head_dim_;
+  }
+  int64_t VOffset(int64_t page, int head, int slot) const noexcept {
+    return ((page * 2 + 1) * num_kv_heads_ + head) * static_cast<int64_t>(page_size_) *
+               head_dim_ +
+           static_cast<int64_t>(slot) * head_dim_;
+  }
+  float LoadElem(int64_t elem_offset) const noexcept;
+  void StoreElem(int64_t elem_offset, float v) noexcept;
+
+  DType dtype_;
+  int num_kv_heads_;
+  int head_dim_;
+  int page_size_;
+  int64_t max_pages_;
+  int64_t elems_per_page_;
+  std::vector<std::byte> data_;
+  std::vector<int64_t> free_list_;
+  std::vector<int32_t> ref_;
+  std::vector<Sequence> seqs_;
+};
+
+}  // namespace flashinfer

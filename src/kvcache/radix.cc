@@ -1,0 +1,100 @@
+#include "kvcache/radix.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace flashinfer {
+
+RadixTree::RadixTree(int page_size) : page_size_(page_size) {
+  FI_CHECK_GE(page_size, 1);
+}
+
+RadixTree::MatchResult RadixTree::MatchPrefix(std::span<const int32_t> tokens) {
+  MatchResult result;
+  Node* node = &root_;
+  const int64_t full_pages = static_cast<int64_t>(tokens.size()) / page_size_;
+  ++clock_;
+  for (int64_t p = 0; p < full_pages; ++p) {
+    std::vector<int32_t> chunk(tokens.begin() + p * page_size_,
+                               tokens.begin() + (p + 1) * page_size_);
+    const auto it = node->children.find(chunk);
+    if (it == node->children.end()) break;
+    node = it->second.get();
+    node->last_access = clock_;
+    result.pages.push_back(node->page);
+    result.matched_tokens += page_size_;
+    result.node_path.push_back(node);
+  }
+  return result;
+}
+
+int64_t RadixTree::Insert(std::span<const int32_t> tokens, std::span<const int64_t> pages) {
+  const int64_t full_pages = static_cast<int64_t>(tokens.size()) / page_size_;
+  FI_CHECK_LE(full_pages, static_cast<int64_t>(pages.size()));
+  Node* node = &root_;
+  int64_t inserted = 0;
+  ++clock_;
+  for (int64_t p = 0; p < full_pages; ++p) {
+    std::vector<int32_t> chunk(tokens.begin() + p * page_size_,
+                               tokens.begin() + (p + 1) * page_size_);
+    auto it = node->children.find(chunk);
+    if (it == node->children.end()) {
+      auto child = std::make_unique<Node>();
+      child->chunk = chunk;
+      child->page = pages[static_cast<size_t>(p)];
+      child->parent = node;
+      child->last_access = clock_;
+      it = node->children.emplace(std::move(chunk), std::move(child)).first;
+      ++inserted;
+      ++total_pages_;
+    } else {
+      it->second->last_access = clock_;
+    }
+    node = it->second.get();
+  }
+  return inserted;
+}
+
+void RadixTree::Lock(const std::vector<void*>& path) {
+  for (void* p : path) {
+    ++static_cast<Node*>(p)->lock_count;
+  }
+}
+
+void RadixTree::Unlock(const std::vector<void*>& path) {
+  for (void* p : path) {
+    auto* node = static_cast<Node*>(p);
+    FI_CHECK_GT(node->lock_count, 0);
+    --node->lock_count;
+  }
+}
+
+std::vector<int64_t> RadixTree::EvictLru(int64_t max_pages) {
+  std::vector<int64_t> freed;
+  while (static_cast<int64_t>(freed.size()) < max_pages) {
+    // Find the unlocked leaf with the oldest access stamp.
+    Node* victim = nullptr;
+    uint64_t best = UINT64_MAX;
+    // Iterative DFS.
+    std::vector<Node*> stack{&root_};
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      for (auto& [key, child] : n->children) stack.push_back(child.get());
+      if (n != &root_ && n->children.empty() && n->lock_count == 0 &&
+          n->last_access < best) {
+        best = n->last_access;
+        victim = n;
+      }
+    }
+    if (victim == nullptr) break;  // Everything pinned or tree empty.
+    freed.push_back(victim->page);
+    --total_pages_;
+    Node* parent = victim->parent;
+    parent->children.erase(victim->chunk);
+  }
+  return freed;
+}
+
+}  // namespace flashinfer

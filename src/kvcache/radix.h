@@ -1,0 +1,68 @@
+// Radix-tree prefix cache (RadixAttention, Zheng et al. 2023 / SGLang).
+//
+// Maps token-id prefixes to cached KV pages so that requests sharing a
+// prefix reuse pages instead of recomputing them, and so the serving engine
+// can discover shared-prefix groups for composable formats (Sec. 3.1.2).
+// Sharing granularity is one page: the tree stores one node per full page of
+// tokens. Nodes are reference-counted by in-flight requests; eviction walks
+// unlocked leaves in LRU order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace flashinfer {
+
+class RadixTree {
+ public:
+  explicit RadixTree(int page_size);
+
+  struct MatchResult {
+    /// Cached pages covering the matched prefix, in order.
+    std::vector<int64_t> pages;
+    /// Matched token count (always a multiple of page_size).
+    int64_t matched_tokens = 0;
+    /// Opaque handle for Lock/Unlock; empty when nothing matched.
+    std::vector<void*> node_path;
+  };
+
+  /// Finds the longest cached prefix of `tokens` (page-aligned) and bumps
+  /// the LRU stamp of every node on the path.
+  MatchResult MatchPrefix(std::span<const int32_t> tokens);
+
+  /// Inserts the page-aligned prefix of `tokens` into the tree, reusing any
+  /// existing path; `pages[i]` backs tokens [i*page_size, (i+1)*page_size).
+  /// Returns how many of `pages` were newly inserted (the tail); previously
+  /// present pages are NOT adopted (caller keeps or frees its duplicates).
+  int64_t Insert(std::span<const int32_t> tokens, std::span<const int64_t> pages);
+
+  /// Pins every node on `path` (from MatchPrefix/Insert) against eviction.
+  void Lock(const std::vector<void*>& path);
+  void Unlock(const std::vector<void*>& path);
+
+  /// Evicts up to `max_pages` unlocked LRU leaves; returns the freed pages
+  /// (caller releases them from the PagedKVCache).
+  std::vector<int64_t> EvictLru(int64_t max_pages);
+
+  int64_t TotalCachedPages() const noexcept { return total_pages_; }
+
+ private:
+  struct Node {
+    std::vector<int32_t> chunk;  // Exactly page_size tokens.
+    int64_t page = -1;
+    int lock_count = 0;
+    uint64_t last_access = 0;
+    Node* parent = nullptr;
+    std::map<std::vector<int32_t>, std::unique_ptr<Node>> children;
+  };
+
+  int page_size_;
+  uint64_t clock_ = 0;
+  int64_t total_pages_ = 0;
+  Node root_;
+};
+
+}  // namespace flashinfer

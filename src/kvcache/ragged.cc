@@ -1,0 +1,26 @@
+#include "kvcache/ragged.h"
+
+#include "util/check.h"
+
+namespace flashinfer {
+
+RaggedTensor RaggedTensor::Zeros(std::vector<int64_t> indptr, int64_t inner) {
+  FI_CHECK(!indptr.empty());
+  FI_CHECK_EQ(indptr.front(), 0);
+  RaggedTensor t;
+  t.indptr = std::move(indptr);
+  t.inner = inner;
+  t.data.assign(static_cast<size_t>(t.indptr.back() * inner), 0.0f);
+  return t;
+}
+
+std::vector<int64_t> BuildIndptr(const std::vector<int64_t>& lens) {
+  std::vector<int64_t> indptr(lens.size() + 1, 0);
+  for (size_t i = 0; i < lens.size(); ++i) {
+    FI_CHECK_GE(lens[i], 0);
+    indptr[i + 1] = indptr[i] + lens[i];
+  }
+  return indptr;
+}
+
+}  // namespace flashinfer

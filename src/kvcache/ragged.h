@@ -1,0 +1,40 @@
+// Ragged (jagged) tensors for queries and outputs (Sec. 3.1.1).
+//
+// Queries/outputs from all requests in a batch are packed into one dense
+// buffer with an `indptr` array, no padding. Row width is num_heads*head_dim
+// for plain layouts or head_dim for head-group-fused layouts (Appendix A).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace flashinfer {
+
+struct RaggedTensor {
+  /// Per-request row extents; indptr[r+1]-indptr[r] rows belong to request r.
+  std::vector<int64_t> indptr;
+  /// Elements per row.
+  int64_t inner = 0;
+  /// Packed [NumRows(), inner] data.
+  std::vector<float> data;
+
+  static RaggedTensor Zeros(std::vector<int64_t> indptr, int64_t inner);
+
+  int64_t NumRows() const noexcept { return indptr.empty() ? 0 : indptr.back(); }
+  int64_t NumRequests() const noexcept {
+    return indptr.empty() ? 0 : static_cast<int64_t>(indptr.size()) - 1;
+  }
+
+  std::span<float> Row(int64_t i) noexcept {
+    return {data.data() + i * inner, static_cast<size_t>(inner)};
+  }
+  std::span<const float> Row(int64_t i) const noexcept {
+    return {data.data() + i * inner, static_cast<size_t>(inner)};
+  }
+};
+
+/// Builds an indptr array from per-request lengths.
+std::vector<int64_t> BuildIndptr(const std::vector<int64_t>& lens);
+
+}  // namespace flashinfer

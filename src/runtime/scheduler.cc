@@ -1,0 +1,260 @@
+#include "runtime/scheduler.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "util/check.h"
+
+namespace flashinfer {
+
+namespace {
+
+/// One KV chunk awaiting CTA assignment (Algorithm 1's work index w).
+struct Chunk {
+  WorkItem item;
+  int rows;
+  int64_t kv_tokens;
+};
+
+double ChunkCost(const Chunk& c, double alpha, double beta) noexcept {
+  return alpha * static_cast<double>(c.rows) + beta * static_cast<double>(c.kv_tokens);
+}
+
+/// Builds the reduction map rows for one split work unit, mirroring the
+/// kernel's fused-row mapping (Appendix A).
+void AppendMergeTasks(const AttentionParams& p, const WorkUnit& unit,
+                      const std::vector<int32_t>& chunk_bases, ReductionMap* rmap) {
+  const auto& bsr = *p.bsr;
+  const int g = p.head_fusion ? p.GroupSize() : 1;
+  const int64_t row0 = bsr.row_start[static_cast<size_t>(unit.block_row)];
+  const int64_t fused_begin = p.FusedBegin(unit.request);
+  for (int i = 0; i < unit.rows; ++i) {
+    const int64_t local = row0 + i - fused_begin;
+    const int64_t token_local = p.head_fusion ? local / g : local;
+    const int qo_head = p.head_fusion
+                            ? unit.kv_head * g + static_cast<int>(local % g)
+                            : unit.qo_head;
+    ReductionMap::Task task;
+    task.token_row = p.qo_indptr[static_cast<size_t>(unit.request)] + token_local;
+    task.qo_head = qo_head;
+    task.begin = static_cast<int32_t>(rmap->slots.size());
+    task.count = static_cast<int32_t>(chunk_bases.size());
+    for (int32_t base : chunk_bases) rmap->slots.push_back(base + i);
+    rmap->tasks.push_back(task);
+  }
+}
+
+}  // namespace
+
+double Plan::MaxCtaCost(int tile_q) const noexcept {
+  double worst = 0.0;
+  for (const auto& queue : cta_queues) {
+    double c = 0.0;
+    for (const auto& it : queue) {
+      c += alpha * tile_q + beta * static_cast<double>(it.kv_end - it.kv_begin);
+    }
+    worst = std::max(worst, c);
+  }
+  return worst;
+}
+
+double Plan::MinCtaCost(int tile_q) const noexcept {
+  if (cta_queues.empty()) return 0.0;
+  double best = -1.0;
+  for (const auto& queue : cta_queues) {
+    double c = 0.0;
+    for (const auto& it : queue) {
+      c += alpha * tile_q + beta * static_cast<double>(it.kv_end - it.kv_begin);
+    }
+    if (best < 0.0 || c < best) best = c;
+  }
+  return best;
+}
+
+std::vector<WorkUnit> EnumerateWorkUnits(const AttentionParams& p) {
+  const auto& bsr = *p.bsr;
+  std::vector<WorkUnit> units;
+  const int num_heads = p.head_fusion ? p.num_kv_heads : p.num_qo_heads;
+  const int g = p.head_fusion ? p.GroupSize() : 1;
+  int request = 0;
+  const int num_reqs = static_cast<int>(p.qo_indptr.size()) - 1;
+  for (int64_t br = 0; br < bsr.NumBlockRows(); ++br) {
+    const int64_t row0 = bsr.row_start[static_cast<size_t>(br)];
+    // Advance to the owning request (block rows are laid out per request).
+    while (request + 1 < num_reqs && p.FusedBegin(request + 1) <= row0) ++request;
+    int64_t kv_len_row = bsr.RowKvLen(br);
+    const int rows = bsr.RowsInBlock(br);
+    if (p.variant.causal) {
+      // Causal trimming: the tile's last query row attends at most
+      // kv_len - qo_len + token_local + 1 tokens, so later KV is dead work
+      // the kernel skips (fully-masked tiles are never scheduled).
+      const int64_t last_local = bsr.row_start[static_cast<size_t>(br) + 1] - 1 -
+                                 p.FusedBegin(request);
+      const int64_t last_token = p.head_fusion ? last_local / g : last_local;
+      const int64_t q_pos_hi = p.kv_len[static_cast<size_t>(request)] - p.QoLen(request) +
+                               last_token + 1;
+      kv_len_row = std::min(kv_len_row, std::max<int64_t>(q_pos_hi, 0));
+    }
+    for (int h = 0; h < num_heads; ++h) {
+      WorkUnit u;
+      u.block_row = static_cast<int32_t>(br);
+      u.request = request;
+      u.kv_head = p.head_fusion ? h : h / p.GroupSize();
+      u.qo_head = p.head_fusion ? -1 : h;
+      u.kv_len = kv_len_row;
+      u.rows = rows;
+      units.push_back(u);
+    }
+  }
+  return units;
+}
+
+double IntraBatchKvReuseFraction(const AttentionParams& p) {
+  const auto units = EnumerateWorkUnits(p);
+  // The underlying KV data is per (request, kv head): only its first read
+  // misses to HBM. Re-reads come from (a) multiple query tiles of one
+  // request (prefill) and (b) multiple qo heads sharing a kv head when
+  // head-group fusion is off (unfused GQA) — both hit L2. Unique bytes per
+  // (request, kv head) equal the largest tile read (the last causal tile
+  // touches the whole visible KV).
+  std::map<std::pair<int32_t, int32_t>, int64_t> unique;
+  double total = 0.0;
+  for (const auto& u : units) {
+    auto& mx = unique[{u.request, u.kv_head}];
+    mx = std::max(mx, u.kv_len);
+    total += static_cast<double>(u.kv_len);
+  }
+  if (total <= 0.0) return 0.0;
+  double unique_total = 0.0;
+  for (const auto& [key, mx] : unique) unique_total += static_cast<double>(mx);
+  return std::max(0.0, 1.0 - unique_total / total);
+}
+
+Plan MakeBalancedPlan(const AttentionParams& p, const KernelConfig& cfg, int num_ctas,
+                      int64_t max_partial_rows, double alpha, double beta) {
+  FI_CHECK_GE(num_ctas, 1);
+  Plan plan;
+  plan.alpha = alpha;
+  plan.beta = beta;
+  plan.cta_queues.resize(static_cast<size_t>(num_ctas));
+
+  const auto units = EnumerateWorkUnits(p);
+
+  // Line 3: maximum KV chunk size, rounded up to the KV tile.
+  int64_t total_kv = 0;
+  for (const auto& u : units) total_kv += u.kv_len;
+  int64_t lkv = (total_kv + num_ctas - 1) / num_ctas;
+  const int64_t tile_kv = std::max(1, cfg.tile_kv);
+  lkv = std::max<int64_t>(((lkv + tile_kv - 1) / tile_kv) * tile_kv, tile_kv);
+  plan.lkv_chunk = lkv;
+
+  // Line 4: split each work unit's KV into chunks of at most lkv tokens;
+  // single-chunk units write through (Appendix D.2).
+  std::vector<Chunk> chunks;
+  int32_t next_partial_row = 0;
+  for (const auto& u : units) {
+    const int64_t n_chunks = u.kv_len <= lkv ? 1 : (u.kv_len + lkv - 1) / lkv;
+    if (n_chunks == 1) {
+      Chunk c;
+      c.item = WorkItem{u.block_row, u.request, u.kv_head, u.qo_head, 0, u.kv_len, -1};
+      c.rows = u.rows;
+      c.kv_tokens = u.kv_len;
+      chunks.push_back(c);
+      continue;
+    }
+    std::vector<int32_t> bases;
+    for (int64_t k = 0; k < n_chunks; ++k) {
+      const int64_t lo = k * lkv;
+      const int64_t hi = std::min<int64_t>(u.kv_len, lo + lkv);
+      Chunk c;
+      c.item = WorkItem{u.block_row, u.request,    u.kv_head,
+                        u.qo_head,   lo,           hi,
+                        next_partial_row};
+      c.rows = u.rows;
+      c.kv_tokens = hi - lo;
+      chunks.push_back(c);
+      bases.push_back(next_partial_row);
+      next_partial_row += u.rows;
+    }
+    AppendMergeTasks(p, u, bases, &plan.rmap);
+  }
+  plan.num_partial_rows = next_partial_row;
+  FI_CHECK_LE(plan.num_partial_rows, max_partial_rows);
+
+  // Line 5: sort in descending cost order (deterministic tie-breaking).
+  std::sort(chunks.begin(), chunks.end(), [&](const Chunk& a, const Chunk& b) {
+    const double ca = ChunkCost(a, alpha, beta);
+    const double cb = ChunkCost(b, alpha, beta);
+    if (ca != cb) return ca > cb;
+    if (a.item.block_row != b.item.block_row) return a.item.block_row < b.item.block_row;
+    if (a.item.kv_head != b.item.kv_head) return a.item.kv_head < b.item.kv_head;
+    if (a.item.qo_head != b.item.qo_head) return a.item.qo_head < b.item.qo_head;
+    return a.item.kv_begin < b.item.kv_begin;
+  });
+
+  // Lines 6-13: longest-processing-time-first onto a min-heap of CTAs.
+  using HeapEntry = std::pair<double, int>;  // (accumulated cost, cta index)
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  for (int c = 0; c < num_ctas; ++c) heap.emplace(0.0, c);
+  for (const auto& chunk : chunks) {
+    auto [cost, cta] = heap.top();
+    heap.pop();
+    plan.cta_queues[static_cast<size_t>(cta)].push_back(chunk.item);
+    heap.emplace(cost + ChunkCost(chunk, alpha, beta), cta);
+  }
+  return plan;
+}
+
+Plan MakeNaivePlan(const AttentionParams& p, const KernelConfig& cfg) {
+  Plan plan;
+  const auto units = EnumerateWorkUnits(p);
+  plan.cta_queues.reserve(units.size());
+  for (const auto& u : units) {
+    plan.cta_queues.push_back(
+        {WorkItem{u.block_row, u.request, u.kv_head, u.qo_head, 0, u.kv_len, -1}});
+  }
+  plan.lkv_chunk = 0;
+  return plan;
+}
+
+Plan MakeFixedSplitPlan(const AttentionParams& p, const KernelConfig& cfg, int num_ctas,
+                        int num_splits, int64_t max_partial_rows) {
+  FI_CHECK_GE(num_ctas, 1);
+  FI_CHECK_GE(num_splits, 1);
+  Plan plan;
+  plan.cta_queues.resize(static_cast<size_t>(num_ctas));
+  const auto units = EnumerateWorkUnits(p);
+  const int64_t tile_kv = std::max(1, cfg.tile_kv);
+
+  int32_t next_partial_row = 0;
+  int cta = 0;
+  for (const auto& u : units) {
+    // Split into up to num_splits tile-aligned chunks.
+    int64_t chunk_len = (u.kv_len + num_splits - 1) / num_splits;
+    chunk_len = std::max<int64_t>(((chunk_len + tile_kv - 1) / tile_kv) * tile_kv, tile_kv);
+    const int64_t n_chunks = u.kv_len <= chunk_len ? 1 : (u.kv_len + chunk_len - 1) / chunk_len;
+    if (n_chunks == 1) {
+      plan.cta_queues[static_cast<size_t>(cta)].push_back(
+          WorkItem{u.block_row, u.request, u.kv_head, u.qo_head, 0, u.kv_len, -1});
+      cta = (cta + 1) % num_ctas;
+      continue;
+    }
+    std::vector<int32_t> bases;
+    for (int64_t k = 0; k < n_chunks; ++k) {
+      const int64_t lo = k * chunk_len;
+      const int64_t hi = std::min<int64_t>(u.kv_len, lo + chunk_len);
+      plan.cta_queues[static_cast<size_t>(cta)].push_back(WorkItem{
+          u.block_row, u.request, u.kv_head, u.qo_head, lo, hi, next_partial_row});
+      bases.push_back(next_partial_row);
+      next_partial_row += u.rows;
+      cta = (cta + 1) % num_ctas;
+    }
+    AppendMergeTasks(p, u, bases, &plan.rmap);
+  }
+  plan.num_partial_rows = next_partial_row;
+  FI_CHECK_LE(plan.num_partial_rows, max_partial_rows);
+  return plan;
+}
+
+}  // namespace flashinfer

@@ -1,0 +1,85 @@
+// Load-balanced scheduling (Sec. 3.3.1, Algorithm 1).
+//
+// The scheduler consumes sequence-length information (per query-tile KV
+// lengths, already tiled at Tq through the BSR) and produces the plan: the
+// work queue of every CTA plus the reduction map between partial and final
+// outputs. Long KV rows are split into chunks of at most Lkv tokens
+// (Lkv = ceil(total work / #CTA)); chunks are assigned
+// longest-processing-time-first onto a min-heap of CTAs. Inspired by
+// Stream-K but with deterministic aggregation order instead of atomics:
+// identical sequence lengths always produce identical plans and identical
+// outputs.
+//
+// Two baselines used by the evaluation ablations:
+//   MakeNaivePlan      — one CTA per (tile, head), no splitting (the
+//                        FlashAttention batch kernel's strategy).
+//   MakeFixedSplitPlan — FlashDecoding-style fixed split count per tile.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/contraction.h"
+#include "core/params.h"
+
+namespace flashinfer {
+
+/// A complete execution plan for one attention launch.
+struct Plan {
+  /// Per-CTA work queues (persistent kernel: grid size == queues.size()).
+  std::vector<std::vector<WorkItem>> cta_queues;
+  /// Partial->final output mapping for the contraction kernel.
+  ReductionMap rmap;
+  /// Partial rows required in the workspace.
+  int64_t num_partial_rows = 0;
+  /// The KV chunk cap used (diagnostic; Algorithm 1 line 3).
+  int64_t lkv_chunk = 0;
+  /// Scheduling-cost hyperparameters actually applied.
+  double alpha = 1.0;
+  double beta = 1.0;
+
+  int NumCtas() const noexcept { return static_cast<int>(cta_queues.size()); }
+  int64_t NumWorkItems() const noexcept {
+    int64_t n = 0;
+    for (const auto& q : cta_queues) n += static_cast<int64_t>(q.size());
+    return n;
+  }
+  /// Scheduled cost of the most/least loaded CTA (for balance assertions).
+  double MaxCtaCost(int tile_q) const noexcept;
+  double MinCtaCost(int tile_q) const noexcept;
+};
+
+/// Algorithm 1. `num_ctas` is the persistent grid size (k x #SM). Head
+/// multiplicity comes from the params (kv heads when fused, qo heads
+/// otherwise). `max_partial_rows` bounds workspace usage (checked).
+Plan MakeBalancedPlan(const AttentionParams& p, const KernelConfig& cfg, int num_ctas,
+                      int64_t max_partial_rows, double alpha = 1.0, double beta = 1.0);
+
+/// Baseline: no KV splitting; CTA i runs work unit i (grid = #units).
+Plan MakeNaivePlan(const AttentionParams& p, const KernelConfig& cfg);
+
+/// Baseline: every work unit's KV is split into exactly `num_splits` chunks
+/// (when long enough), round-robin over `num_ctas` CTAs.
+Plan MakeFixedSplitPlan(const AttentionParams& p, const KernelConfig& cfg, int num_ctas,
+                        int num_splits, int64_t max_partial_rows);
+
+/// Work units before chunking: every (block_row, head) pair. Exposed for
+/// tests and for the serving cost model.
+struct WorkUnit {
+  int32_t block_row;
+  int32_t request;
+  int32_t kv_head;
+  int32_t qo_head;  // -1 under head fusion.
+  int64_t kv_len;   // Row KV length.
+  int rows;         // Fused rows in the tile.
+};
+std::vector<WorkUnit> EnumerateWorkUnits(const AttentionParams& p);
+
+/// Fraction of the launch's KV reads served by L2 rather than HBM due to
+/// intra-batch reuse: every query tile of a request re-reads the request's
+/// KV, but only the first read per (request, head) misses to HBM. Decode
+/// (one tile per request) returns 0; long prefill approaches
+/// 1 - 1/num_tiles. Fed into CostContext::kv_l2_fraction.
+double IntraBatchKvReuseFraction(const AttentionParams& p);
+
+}  // namespace flashinfer

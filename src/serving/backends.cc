@@ -1,0 +1,270 @@
+#include "serving/backends.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/tile_heuristics.h"
+#include "kvcache/ragged.h"
+#include "runtime/scheduler.h"
+#include "util/check.h"
+
+namespace flashinfer::serving {
+
+BackendConfig FlashInferBackend() {
+  BackendConfig b;
+  b.name = "FlashInfer v0.2";
+  return b;
+}
+
+BackendConfig TritonBackend() {
+  BackendConfig b;
+  b.name = "Triton v3.0";
+  // SGLang's Triton decode kernels use a static split-K heuristic: better
+  // than no splitting on long sequences, but not sequence-length aware
+  // (Appendix G.3 shows it between the two FlashInfer scheduler modes).
+  b.scheduler = SchedulerKind::kFixedSplit;
+  b.kernel_time_scale = 1.30;
+  b.host_us_per_step = 220.0;
+  b.fused_rope = false;
+  b.composable = false;
+  return b;
+}
+
+BackendConfig FlashAttentionBackend() {
+  BackendConfig b;
+  b.name = "FlashAttention";
+  b.scheduler = SchedulerKind::kNaive;
+  b.kernel_time_scale = 1.0;
+  b.fused_rope = false;
+  b.head_fusion = false;
+  b.composable = false;
+  return b;
+}
+
+BackendConfig VllmDefaultBackend() {
+  BackendConfig b;
+  b.name = "vLLM default";
+  b.scheduler = SchedulerKind::kNaive;
+  b.kernel_time_scale = 1.05;
+  b.host_us_per_req = 14.0;  // Python-side array bookkeeping (Appendix G.4).
+  b.host_us_per_step = 250.0;
+  b.composable = false;
+  return b;
+}
+
+namespace {
+
+/// Builds sequential fake page tables for a batch of KV lengths (the
+/// estimator needs structure, not data).
+std::vector<sparse::RequestKv> FakePages(const std::vector<int64_t>& kv_lens, int page_size,
+                                         const std::vector<int64_t>& pos_offsets) {
+  std::vector<sparse::RequestKv> kv(kv_lens.size());
+  int64_t next_page = 0;
+  for (size_t r = 0; r < kv_lens.size(); ++r) {
+    const int64_t len = kv_lens[r];
+    const int64_t pages = (len + page_size - 1) / page_size;
+    kv[r].pages.resize(static_cast<size_t>(pages));
+    std::iota(kv[r].pages.begin(), kv[r].pages.end(), next_page);
+    next_page += pages;
+    kv[r].last_page_len =
+        len == 0 ? 0 : static_cast<int>(len - (pages - 1) * page_size);
+    kv[r].pos_offset = pos_offsets.empty() ? 0 : pos_offsets[r];
+  }
+  return kv;
+}
+
+/// Prices a plan without executing any math: walks every CTA queue, charges
+/// the per-item roofline cost, and list-schedules the CTA times.
+gpusim::SimReport PricePlan(const gpusim::DeviceSpec& dev, const AttentionParams& p,
+                            const KernelConfig& cfg, const Plan& plan, DType kv_dtype,
+                            double kv_l2_fraction = 0.0) {
+  const int kvb = DTypeBytes(kv_dtype);
+  auto eff = EfficiencyModel(dev, cfg, p.head_dim, kvb);
+  const auto occ = OccupancyModel(dev, cfg, p.head_dim, kvb);
+  const auto shape = ResidencyModel(dev, occ, plan.NumCtas());
+  eff.mem *= shape.mem_scale;
+
+  gpusim::SimReport report;
+  report.num_ctas = plan.NumCtas();
+  report.cta_time_us.reserve(plan.cta_queues.size());
+  for (const auto& queue : plan.cta_queues) {
+    gpusim::CtaCost cost;
+    for (const auto& item : queue) {
+      const int rows = p.bsr->RowsInBlock(item.block_row);
+      const int64_t kv_tokens = item.kv_end - item.kv_begin;
+      auto wc =
+          AttentionWorkItemCost(rows, kv_tokens, p.head_dim, kvb, false, item.dest >= 0);
+      if (kv_l2_fraction > 0.0) {
+        const double kv_bytes = static_cast<double>(kv_tokens) * 2.0 * p.head_dim * kvb;
+        const double to_l2 = kv_bytes * kv_l2_fraction;
+        wc.hbm_bytes -= to_l2;
+        wc.l2_bytes += to_l2;
+      }
+      cost.Charge(dev, eff, wc, kvb, shape.slots);
+    }
+    report.cta_time_us.push_back(cost.time_us);
+    report.total_hbm_bytes += cost.total.hbm_bytes;
+    report.total_l2_bytes += cost.total.l2_bytes;
+    report.total_tensor_flops += cost.total.tensor_flops;
+    report.total_cuda_flops += cost.total.cuda_flops;
+  }
+  report.time_us =
+      gpusim::SimExecutor::Makespan(report.cta_time_us, shape.slots) + dev.kernel_launch_us;
+
+  if (!plan.rmap.Empty()) {
+    // Contraction kernel: merge tasks strided over SMs.
+    const int num_tasks = static_cast<int>(plan.rmap.tasks.size());
+    const int ctas = std::min(num_tasks, dev.num_sms);
+    std::vector<double> merge_times(static_cast<size_t>(ctas), 0.0);
+    for (int t = 0; t < num_tasks; ++t) {
+      const auto& task = plan.rmap.tasks[static_cast<size_t>(t)];
+      gpusim::WorkCost wc;
+      wc.hbm_bytes = static_cast<double>(task.count) * (p.head_dim + 1) * 4.0 +
+                     static_cast<double>(p.head_dim) * 2.0;
+      wc.cuda_flops = static_cast<double>(task.count) * (2.0 * p.head_dim + 8.0);
+      merge_times[static_cast<size_t>(t % ctas)] += gpusim::WorkItemTimeUs(
+          dev, eff, wc, kvb, dev.num_sms, gpusim::kMergeRowOverheadUs);
+      report.total_hbm_bytes += wc.hbm_bytes;
+      report.total_cuda_flops += wc.cuda_flops;
+    }
+    report.time_us += gpusim::SimExecutor::Makespan(merge_times, dev.num_sms) +
+                      dev.kernel_launch_us;
+  }
+  return report;
+}
+
+/// Prices one single-format attention launch over (qo_lens, kv_lens).
+gpusim::SimReport PriceSingleFormat(const gpusim::DeviceSpec& dev,
+                                    const BackendConfig& backend, const AttnSimInput& in,
+                                    const std::vector<int64_t>& qo_lens,
+                                    const std::vector<int64_t>& kv_lens,
+                                    const std::vector<int64_t>& pos_offsets,
+                                    int tile_q_override = 0) {
+  FI_CHECK_EQ(qo_lens.size(), kv_lens.size());
+  const int g = in.num_qo_heads / in.num_kv_heads;
+  const int64_t total_q = std::accumulate(qo_lens.begin(), qo_lens.end(), int64_t{0});
+  const double avg_fused =
+      qo_lens.empty() ? 1.0
+                      : static_cast<double>(total_q) / static_cast<double>(qo_lens.size()) *
+                            (backend.head_fusion ? g : 1);
+
+  KernelConfig cfg = SelectKernelConfig(dev, avg_fused, in.head_dim,
+                                        DTypeBytes(backend.kv_dtype),
+                                        /*sparse=*/!in.force_dense);
+  cfg.head_fusion = backend.head_fusion;
+  if (tile_q_override > 0) cfg.tile_q = tile_q_override;
+  if (in.tile_q_override > 0) cfg.tile_q = in.tile_q_override;
+  if (in.force_template == 2) cfg.tmpl = gpusim::TemplateGen::kFA2;
+  if (in.force_template == 3) cfg.tmpl = gpusim::TemplateGen::kFA3;
+
+  // Fused-row indptr and BSR.
+  std::vector<int64_t> fused_lens(qo_lens.size());
+  for (size_t i = 0; i < qo_lens.size(); ++i) {
+    fused_lens[i] = qo_lens[i] * (backend.head_fusion ? g : 1);
+  }
+  const auto fused_indptr = BuildIndptr(fused_lens);
+  const auto kv = FakePages(kv_lens, in.page_size, pos_offsets);
+  const auto bsr = sparse::BuildBatchBsr(fused_indptr, kv, in.page_size, cfg.tile_q);
+
+  AttentionParams p;
+  p.bsr = &bsr;
+  p.qo_indptr = BuildIndptr(qo_lens);
+  p.kv_len = kv_lens;
+  p.num_qo_heads = in.num_qo_heads;
+  p.num_kv_heads = in.num_kv_heads;
+  p.head_dim = in.head_dim;
+  p.head_fusion = backend.head_fusion;
+  p.variant.causal = in.causal;  // Enables causal work trimming in planning.
+
+  const int num_ctas = dev.num_sms;  // Persistent grid, k = 1.
+  Plan plan;
+  switch (backend.scheduler) {
+    case SchedulerKind::kBalanced:
+      plan = MakeBalancedPlan(p, cfg, num_ctas, int64_t{1} << 40);
+      break;
+    case SchedulerKind::kNaive:
+      plan = MakeNaivePlan(p, cfg);
+      break;
+    case SchedulerKind::kFixedSplit:
+      plan = MakeFixedSplitPlan(p, cfg, num_ctas, 4, int64_t{1} << 40);
+      break;
+  }
+  // Compose the caller's cross-request reuse fraction with intra-batch tile
+  // reuse (prefill tiles re-reading their request's KV hit L2).
+  const double auto_l2 = IntraBatchKvReuseFraction(p);
+  const double l2_fraction = 1.0 - (1.0 - in.kv_l2_fraction) * (1.0 - auto_l2);
+  auto report = PricePlan(dev, p, cfg, plan, backend.kv_dtype, l2_fraction);
+  report.time_us *= backend.kernel_time_scale;
+  return report;
+}
+
+}  // namespace
+
+gpusim::SimReport SimulateBatchAttention(const gpusim::DeviceSpec& dev,
+                                         const BackendConfig& backend,
+                                         const AttnSimInput& in) {
+  if (!backend.composable || in.groups.empty()) {
+    return PriceSingleFormat(dev, backend, in, in.qo_lens, in.kv_lens,
+                             /*pos_offsets=*/{});
+  }
+
+  // --- Composable path (Sec. 3.1.2): both levels run as ONE persistent
+  // launch — level 0 processes each shared prefix once per group at
+  // Br = group rows, level 1 processes the unique suffixes at small Br, and
+  // the balanced scheduler interleaves all their chunks over the same grid
+  // (the paper merges attention and contraction stages into one persistent
+  // kernel). We therefore price a single combined batch: one "request" per
+  // group (prefix KV, concatenated member rows) plus one per real request
+  // (suffix KV only).
+  const int g = in.num_qo_heads / in.num_kv_heads;
+  std::vector<int64_t> combined_qo, combined_kv, combined_pos;
+  int max_group_rows = 1;
+  for (const auto& group : in.groups) {
+    int64_t rows = 0;
+    for (int m : group.members) rows += in.qo_lens[static_cast<size_t>(m)];
+    combined_qo.push_back(rows);
+    combined_kv.push_back(group.prefix_len);
+    combined_pos.push_back(0);
+    max_group_rows =
+        std::max<int>(max_group_rows, static_cast<int>(rows) * (backend.head_fusion ? g : 1));
+  }
+  std::vector<int64_t> l1_kv(in.kv_lens);
+  std::vector<int64_t> l1_pos(in.kv_lens.size(), 0);
+  for (const auto& group : in.groups) {
+    for (int m : group.members) {
+      l1_kv[static_cast<size_t>(m)] = in.kv_lens[static_cast<size_t>(m)] - group.prefix_len;
+      l1_pos[static_cast<size_t>(m)] = group.prefix_len;
+    }
+  }
+  combined_qo.insert(combined_qo.end(), in.qo_lens.begin(), in.qo_lens.end());
+  combined_kv.insert(combined_kv.end(), l1_kv.begin(), l1_kv.end());
+  combined_pos.insert(combined_pos.end(), l1_pos.begin(), l1_pos.end());
+
+  AttnSimInput flat = in;
+  flat.groups.clear();
+  // The prefix level's larger Br bounds the tile (and hence occupancy).
+  auto report = PriceSingleFormat(dev, backend, flat, combined_qo, combined_kv, combined_pos,
+                                  std::min(max_group_rows, 128));
+
+  // --- Extra contraction: merge level-0 and level-1 states per fused row. --
+  {
+    int64_t fused_rows = 0;
+    for (const auto& group : in.groups) {
+      for (int m : group.members) {
+        fused_rows += in.qo_lens[static_cast<size_t>(m)] * g;
+      }
+    }
+    fused_rows *= in.num_kv_heads;
+    gpusim::WorkCost wc;
+    wc.hbm_bytes = static_cast<double>(fused_rows) * (in.head_dim + 1) * 4.0 * 2.0 +
+                   static_cast<double>(fused_rows) * in.head_dim * 2.0;
+    wc.cuda_flops = static_cast<double>(fused_rows) * (2.0 * in.head_dim + 8.0);
+    gpusim::KernelEfficiency eff;  // Bandwidth-bound merge kernel.
+    report.time_us += wc.hbm_bytes / (dev.hbm_gbps * eff.mem * 1e3);
+    report.total_hbm_bytes += wc.hbm_bytes;
+    report.total_cuda_flops += wc.cuda_flops;
+  }
+  return report;
+}
+
+}  // namespace flashinfer::serving

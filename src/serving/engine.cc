@@ -1,0 +1,239 @@
+#include "serving/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <map>
+
+#include "util/check.h"
+
+namespace flashinfer::serving {
+
+ServingEngine::ServingEngine(EngineConfig cfg) : cfg_(std::move(cfg)) {
+  const double hbm_bytes = cfg_.hbm_capacity_gb * 1e9;
+  const double weights = cfg_.model.WeightBytesPerGpu();
+  const double kv_budget_bytes = (hbm_bytes - weights) * 0.9;  // Activation slack.
+  FI_CHECK_GT(kv_budget_bytes, 0.0);
+  kv_token_budget_ = static_cast<int64_t>(
+      kv_budget_bytes / cfg_.model.KvBytesPerToken(cfg_.backend.kv_dtype));
+}
+
+double ServingEngine::GemmStepUs(int64_t tokens, bool decode) const {
+  const auto& m = cfg_.model;
+  const auto& dev = cfg_.device;
+  const double flops = m.GemmFlopsPerToken() * static_cast<double>(tokens) /
+                       m.tensor_parallel;
+  const double t_compute = flops / (dev.fp16_tflops * cfg_.backend.gemm_eff * 1e6);
+  // Every step streams the weights once; small-batch decode is bound by it,
+  // large prefills by compute.
+  const double t_mem = m.WeightBytesPerGpu() / (dev.hbm_gbps * 0.9 * 1e3);
+  (void)decode;
+  return std::max(t_compute, t_mem);
+}
+
+double ServingEngine::CommStepUs(int64_t tokens) const {
+  const int tp = cfg_.model.tensor_parallel;
+  if (tp <= 1) return 0.0;
+  // Two ring all-reduces per layer over the hidden activations.
+  const double bytes_per_layer =
+      2.0 * static_cast<double>(tokens) * cfg_.model.d_model * 2.0;
+  const double ring = 2.0 * (tp - 1) / tp;
+  return cfg_.model.num_layers * bytes_per_layer * ring / (cfg_.nvlink_gbps * 1e3) +
+         cfg_.model.num_layers * 4.0;  // Per-layer collective launch latency.
+}
+
+double ServingEngine::AttnStepUs(const std::vector<Branch>& batch,
+                                 const std::vector<int64_t>& qo_lens, bool decode) const {
+  if (batch.empty()) return 0.0;
+  AttnSimInput in;
+  in.qo_lens = qo_lens;
+  in.num_qo_heads = cfg_.model.num_qo_heads / cfg_.model.tensor_parallel;
+  in.num_kv_heads =
+      std::max(1, cfg_.model.num_kv_heads / cfg_.model.tensor_parallel);
+  in.head_dim = cfg_.model.head_dim;
+  in.page_size = cfg_.page_size;
+  in.kv_lens.reserve(batch.size());
+  for (const auto& b : batch) in.kv_lens.push_back(b.kv_len);
+
+  if (decode) {
+    // Identify parallel-generation sibling groups (contiguous by
+    // construction).
+    std::map<int, AttnSimInput::Group> groups;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].group < 0) continue;
+      auto& grp = groups[batch[i].group];
+      grp.prefix_len = batch[i].prefix_len;
+      grp.members.push_back(static_cast<int>(i));
+    }
+    for (auto& [id, grp] : groups) {
+      if (grp.members.size() < 2 || grp.prefix_len < cfg_.page_size) continue;
+      if (cfg_.backend.composable) in.groups.push_back(grp);
+    }
+    // Without composable-format support the engine materializes each
+    // branch's prompt KV separately (Sec. 5.1: prior shared-prefix systems
+    // need separate prefix/suffix cache management), so sibling reads hit
+    // distinct HBM addresses — no L2 dedup credit for the single format.
+  }
+
+  auto report = SimulateBatchAttention(cfg_.device, cfg_.backend, in);
+  if (std::getenv("FI_DEBUG_ATTN") != nullptr && decode) {
+    int64_t total_kv = 0;
+    for (int64_t l : in.kv_lens) total_kv += l;
+    std::fprintf(stderr, "[attn] decode batch=%zu groups=%zu total_kv=%lld t=%.2fus\n",
+                 in.qo_lens.size(), in.groups.size(), static_cast<long long>(total_kv),
+                 report.time_us);
+  }
+  // Plan reuse across layers: one scheduler pass, num_layers launches.
+  const int layers = cfg_.model.num_layers;
+  double t = report.time_us * layers;
+  if (!cfg_.backend.fused_rope) {
+    // Separate RoPE kernel over this step's Q and K rows (bandwidth-bound,
+    // small-kernel efficiency).
+    int64_t tokens = 0;
+    for (int64_t q : qo_lens) tokens += q;
+    const double bytes = 2.0 *  // Read + write.
+                         static_cast<double>(tokens) *
+                         (in.num_qo_heads + in.num_kv_heads) * in.head_dim * 2.0;
+    t += layers * (bytes / (cfg_.device.hbm_gbps * 0.45 * 1e3) +
+                   cfg_.device.kernel_launch_us);
+  }
+  return t;
+}
+
+ServingMetrics ServingEngine::Run(const std::vector<Request>& workload) {
+  ServingMetrics metrics;
+  std::deque<Request> pending(workload.begin(), workload.end());
+  std::vector<Branch> running;
+  double now_s = 0.0;
+  int64_t kv_tokens_in_use = 0;
+  int next_group = 0;
+
+  // TTFT bookkeeping: request id -> arrival.
+  std::map<int, double> arrival;
+  for (const auto& r : workload) arrival[r.id] = r.arrival_s;
+  // Parallel-generation groups: live member count + shared prefix tokens
+  // (the prefix's pages are freed when the last sibling finishes).
+  std::map<int, std::pair<int, int64_t>> group_refs;
+
+  while (!pending.empty() || !running.empty()) {
+    // Admit arrived requests within memory and token budget.
+    std::vector<Request> admitted;
+    int64_t prefill_tokens = 0;
+    while (!pending.empty() && pending.front().arrival_s <= now_s &&
+           static_cast<int>(running.size() + admitted.size()) < cfg_.max_running) {
+      const auto& r = pending.front();
+      // Token budget per prefill step; an oversized request still admits
+      // alone (otherwise it would starve forever).
+      if (!admitted.empty() &&
+          prefill_tokens + r.input_len > cfg_.max_prefill_tokens) {
+        break;
+      }
+      const int64_t need = r.input_len + r.parallel_n * 8;  // Prompt + slack.
+      if (kv_tokens_in_use + need > kv_token_budget_) break;
+      kv_tokens_in_use += need;
+      prefill_tokens += r.input_len;
+      admitted.push_back(r);
+      pending.pop_front();
+    }
+
+    if (!admitted.empty()) {
+      // --- Prefill step (runs alone, as in SGLang). ------------------------
+      std::vector<Branch> prefill_batch;
+      std::vector<int64_t> qo_lens;
+      for (const auto& r : admitted) {
+        Branch b;
+        b.request_id = r.id;
+        b.kv_len = r.input_len;
+        prefill_batch.push_back(b);
+        qo_lens.push_back(r.input_len);
+      }
+      const double host_us = cfg_.backend.host_us_per_step +
+                             cfg_.backend.host_us_per_req * admitted.size() +
+                             // Prefill never replays graphs: per-layer launches.
+                             cfg_.model.num_layers * 2.0;
+      const double gemm_us = GemmStepUs(prefill_tokens, /*decode=*/false);
+      const double attn_us = AttnStepUs(prefill_batch, qo_lens, /*decode=*/false);
+      const double comm_us = CommStepUs(prefill_tokens);
+      const double step_s = (host_us + gemm_us + attn_us + comm_us) * 1e-6;
+      now_s += step_s;
+      metrics.total_gemm_ms += gemm_us * 1e-3;
+      metrics.total_attention_ms += attn_us * 1e-3;
+      metrics.total_host_ms += host_us * 1e-3;
+      ++metrics.num_steps;
+
+      // First token of each admitted request is produced by its prefill.
+      for (const auto& r : admitted) {
+        metrics.ttft_ms.push_back((now_s - arrival[r.id]) * 1e3);
+        ++metrics.total_output_tokens;
+        const int group = r.parallel_n > 1 ? next_group++ : -1;
+        if (group >= 0) group_refs[group] = {r.parallel_n, r.input_len};
+        for (int n = 0; n < r.parallel_n; ++n) {
+          Branch b;
+          b.request_id = r.id;
+          b.group = group;
+          b.prefix_len = r.parallel_n > 1 ? r.input_len : 0;
+          b.kv_len = r.input_len + 1;
+          b.remaining = std::max<int64_t>(r.output_len - 1, 0);
+          b.last_emit_s = now_s;
+          running.push_back(b);
+          kv_tokens_in_use += 1;
+        }
+      }
+      continue;
+    }
+
+    if (running.empty()) {
+      // Idle: jump to the next arrival.
+      FI_CHECK(!pending.empty());
+      now_s = std::max(now_s, pending.front().arrival_s);
+      continue;
+    }
+
+    // --- Decode step: one token for every running branch. ------------------
+    std::vector<int64_t> qo_lens(running.size(), 1);
+    const double host_us =
+        cfg_.backend.host_us_per_step + cfg_.backend.host_us_per_req * running.size() +
+        (cfg_.backend.use_cuda_graph ? 10.0 : cfg_.model.num_layers * 2.0);
+    const double gemm_us = GemmStepUs(static_cast<int64_t>(running.size()), /*decode=*/true);
+    const double attn_us = AttnStepUs(running, qo_lens, /*decode=*/true);
+    const double comm_us = CommStepUs(static_cast<int64_t>(running.size()));
+    const double step_s = (host_us + gemm_us + attn_us + comm_us) * 1e-6;
+    now_s += step_s;
+    metrics.total_gemm_ms += gemm_us * 1e-3;
+    metrics.total_attention_ms += attn_us * 1e-3;
+    metrics.total_host_ms += host_us * 1e-3;
+    ++metrics.num_steps;
+
+    std::vector<Branch> still_running;
+    still_running.reserve(running.size());
+    for (auto& b : running) {
+      metrics.itl_ms.push_back((now_s - b.last_emit_s) * 1e3);
+      b.last_emit_s = now_s;
+      b.kv_len += 1;
+      kv_tokens_in_use += 1;
+      ++metrics.total_output_tokens;
+      b.remaining -= 1;
+      if (b.remaining > 0) {
+        still_running.push_back(b);
+      } else if (b.group < 0) {
+        kv_tokens_in_use -= b.kv_len;  // Release the branch's pages.
+      } else {
+        // Grouped branch: release the unique suffix; the shared prefix goes
+        // with the last sibling.
+        kv_tokens_in_use -= b.kv_len - b.prefix_len;
+        auto& [refs, prefix] = group_refs[b.group];
+        if (--refs == 0) {
+          kv_tokens_in_use -= prefix;
+          group_refs.erase(b.group);
+        }
+      }
+    }
+    running = std::move(still_running);
+  }
+
+  metrics.makespan_s = now_s;
+  return metrics;
+}
+
+}  // namespace flashinfer::serving

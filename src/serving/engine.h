@@ -1,0 +1,69 @@
+// Continuous-batching LLM serving engine over simulated time (Sec. 4.1).
+//
+// The engine replays an Orca-style continuous-batching policy: arrived
+// requests are admitted and prefilled (prefill steps run alone, as in
+// SGLang); running requests decode one token per step. Each step is charged
+// GEMM time (roofline over the model's dense layers), attention time (the
+// backend's scheduler priced by the kernel cost model, once per step and
+// reused across layers exactly as the paper's plan cache allows),
+// tensor-parallel all-reduce time, and host overhead. Parallel generation
+// (the OpenAI "n" parameter, Sec. 4.4) forks n branches sharing the prompt
+// KV through the paged cache; composable backends decode those groups with
+// the two-level shared-prefix format.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serving/backends.h"
+#include "serving/metrics.h"
+#include "serving/model.h"
+#include "serving/workload.h"
+
+namespace flashinfer::serving {
+
+struct EngineConfig {
+  ModelSpec model;
+  gpusim::DeviceSpec device;
+  BackendConfig backend;
+  int page_size = 16;
+  /// HBM per GPU, GB (weights + KV must fit).
+  double hbm_capacity_gb = 80.0;
+  /// Max concurrently running branches.
+  int max_running = 512;
+  /// Per-step prefill token budget.
+  int64_t max_prefill_tokens = 8192;
+  /// NVLink all-reduce bandwidth per GPU, GB/s (tensor parallel).
+  double nvlink_gbps = 450.0;
+};
+
+class ServingEngine {
+ public:
+  explicit ServingEngine(EngineConfig cfg);
+
+  /// Simulates the full workload and returns latency metrics.
+  ServingMetrics Run(const std::vector<Request>& workload);
+
+  /// KV token capacity implied by the memory budget.
+  int64_t KvTokenBudget() const noexcept { return kv_token_budget_; }
+
+ private:
+  struct Branch {
+    int request_id = 0;
+    int group = -1;            // Parallel-generation group id, -1 if alone.
+    int64_t prefix_len = 0;    // Shared prompt tokens (group != -1).
+    int64_t kv_len = 0;        // Current KV length (incl. shared prefix).
+    int64_t remaining = 0;     // Output tokens still to emit.
+    double last_emit_s = 0.0;
+  };
+
+  double GemmStepUs(int64_t tokens, bool decode) const;
+  double CommStepUs(int64_t tokens) const;
+  double AttnStepUs(const std::vector<Branch>& batch, const std::vector<int64_t>& qo_lens,
+                    bool decode) const;
+
+  EngineConfig cfg_;
+  int64_t kv_token_budget_ = 0;
+};
+
+}  // namespace flashinfer::serving

@@ -1,0 +1,34 @@
+// Latency metrics for serving experiments: TTFT (time-to-first-token) and
+// ITL (inter-token latency), reported as medians/percentiles like the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace flashinfer::serving {
+
+/// p in [0,1]; linear interpolation between order statistics.
+double Percentile(std::vector<double> values, double p);
+double Median(std::vector<double> values);
+double Mean(const std::vector<double>& values);
+
+/// Aggregated serving metrics for one run.
+struct ServingMetrics {
+  std::vector<double> ttft_ms;       // Per request.
+  std::vector<double> itl_ms;        // Per emitted token (gaps).
+  double makespan_s = 0.0;           // Total simulated time.
+  int64_t total_output_tokens = 0;
+  double total_attention_ms = 0.0;   // Attention kernel time summed.
+  double total_gemm_ms = 0.0;
+  double total_host_ms = 0.0;
+  int64_t num_steps = 0;
+
+  double MedianTtftMs() const { return Median(ttft_ms); }
+  double MedianItlMs() const { return Median(itl_ms); }
+  double P99TtftMs() const { return Percentile(ttft_ms, 0.99); }
+  double ThroughputTokS() const {
+    return makespan_s > 0.0 ? static_cast<double>(total_output_tokens) / makespan_s : 0.0;
+  }
+};
+
+}  // namespace flashinfer::serving

@@ -1,0 +1,62 @@
+// Transformer model descriptions for end-to-end serving simulation.
+//
+// The serving engine charges each step a GEMM cost (projections + MLP +
+// lm-head, roofline over the device) and an attention cost (from the real
+// scheduler plans); the model spec supplies the shapes. Presets match the
+// models used in the paper's evaluation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/float_types.h"
+
+namespace flashinfer::serving {
+
+struct ModelSpec {
+  std::string name;
+  int num_layers = 32;
+  int num_qo_heads = 32;
+  int num_kv_heads = 8;
+  int head_dim = 128;
+  int64_t d_model = 4096;
+  int64_t ffn_dim = 14336;
+  int64_t vocab = 128256;
+  /// Tensor-parallel degree (number of GPUs; divides weights and KV heads).
+  int tensor_parallel = 1;
+  DType weight_dtype = DType::kF16;
+
+  /// Dense (non-attention) parameter count: QKV/O projections + gated MLP +
+  /// LM head.
+  double DenseParams() const noexcept {
+    const double qkv = static_cast<double>(d_model) *
+                       (static_cast<double>(num_qo_heads) * head_dim +
+                        2.0 * num_kv_heads * head_dim);
+    const double oproj = static_cast<double>(num_qo_heads) * head_dim * d_model;
+    const double mlp = 3.0 * static_cast<double>(d_model) * ffn_dim;
+    return num_layers * (qkv + oproj + mlp) + static_cast<double>(d_model) * vocab;
+  }
+
+  /// GEMM FLOPs to process one token through all layers.
+  double GemmFlopsPerToken() const noexcept { return 2.0 * DenseParams(); }
+
+  /// Weight bytes resident per GPU.
+  double WeightBytesPerGpu() const noexcept {
+    return DenseParams() * DTypeBytes(weight_dtype) / tensor_parallel;
+  }
+
+  /// KV-cache bytes per token per GPU for a given KV dtype.
+  double KvBytesPerToken(DType kv_dtype) const noexcept {
+    return 2.0 * num_layers * num_kv_heads * head_dim * DTypeBytes(kv_dtype) /
+           tensor_parallel;
+  }
+};
+
+/// Llama 3.1 8B Instruct (1xH100 in the paper).
+ModelSpec Llama31_8B();
+/// Llama 3.1 70B Instruct (4xH100 in the paper).
+ModelSpec Llama31_70B(int tensor_parallel = 4);
+/// Vicuna 13B (StreamingLLM experiments, Sec. 4.3).
+ModelSpec Vicuna13B();
+
+}  // namespace flashinfer::serving

@@ -1,0 +1,38 @@
+// StreamingLLM end-to-end loop (Sec. 4.3, Xiao et al. 2023).
+//
+// StreamingLLM keeps a constant-size KV cache: `sink` initial tokens plus a
+// rolling window of `recent` tokens, and reassigns RoPE positions *within
+// the cache* each step — which means every key must be re-rotated whenever
+// the window slides. A fused RoPE+attention kernel (FusedRopeVariant) does
+// the rotation on the fly from un-roped keys; the unfused baseline pays a
+// separate kernel that rewrites the whole K cache every step. This module
+// reproduces the paper's inter-token-latency comparison for the three
+// implementations of Fig. 9 (top).
+#pragma once
+
+#include "gpusim/device.h"
+#include "serving/backends.h"
+#include "serving/model.h"
+
+namespace flashinfer::serving {
+
+enum class StreamingRopeMode {
+  kFusedFlashInfer,       // RoPE fused into the attention kernel.
+  kUnfusedFlashAttention, // Separate RoPE rewrite pass + FA attention.
+  kOriginalImpl,          // Reference implementation with its extra overheads.
+};
+
+struct StreamingLlmConfig {
+  ModelSpec model;
+  gpusim::DeviceSpec device;
+  int sink_tokens = 4;
+  int recent_window = 2000;
+  /// Tokens generated per measured conversation turn.
+  int output_tokens = 256;
+};
+
+/// Simulated inter-token latency (ms/token) of StreamingLLM decoding at a
+/// full cache, matching the paper's MT-Bench measurement regime (batch 1).
+double StreamingLlmItlMs(const StreamingLlmConfig& cfg, StreamingRopeMode mode);
+
+}  // namespace flashinfer::serving

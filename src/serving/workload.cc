@@ -1,0 +1,76 @@
+#include "serving/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace flashinfer::serving {
+
+namespace {
+
+int64_t ClippedLogNormal(Rng& rng, double mean, double sigma, int64_t lo, int64_t hi) {
+  // Choose mu so that the log-normal mean is `mean`: mean = exp(mu+sigma^2/2).
+  const double mu = std::log(mean) - sigma * sigma / 2.0;
+  const double v = rng.LogNormal(mu, sigma);
+  return std::clamp<int64_t>(static_cast<int64_t>(std::llround(v)), lo, hi);
+}
+
+}  // namespace
+
+std::vector<Request> ShareGptWorkload(Rng& rng, int num_requests, double request_rate,
+                                      int parallel_n) {
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<size_t>(num_requests));
+  double t = 0.0;
+  for (int i = 0; i < num_requests; ++i) {
+    t += rng.Exponential(request_rate);
+    Request r;
+    r.id = i;
+    r.arrival_s = t;
+    r.input_len = ClippedLogNormal(rng, 220.0, 1.1, 4, 2048);
+    r.output_len = ClippedLogNormal(rng, 190.0, 1.0, 4, 1024);
+    r.parallel_n = parallel_n;
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
+std::vector<Request> UniformWorkload(Rng& rng, int num_requests, double request_rate,
+                                     int64_t lo, int64_t hi, int64_t output_len) {
+  FI_CHECK_LE(lo, hi);
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<size_t>(num_requests));
+  double t = 0.0;
+  for (int i = 0; i < num_requests; ++i) {
+    t += rng.Exponential(request_rate);
+    Request r;
+    r.id = i;
+    r.arrival_s = t;
+    r.input_len = rng.UniformInt(lo, hi);
+    r.output_len = output_len;
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
+std::vector<int64_t> SampleLengths(Rng& rng, LengthDist dist, int batch, int64_t mean_len) {
+  std::vector<int64_t> lens(static_cast<size_t>(batch), 0);
+  switch (dist) {
+    case LengthDist::kConstant:
+      for (auto& l : lens) l = mean_len;
+      break;
+    case LengthDist::kUniform:
+      // The paper's uniform setting spans [mean/2, mean].
+      for (auto& l : lens) l = rng.UniformInt(mean_len / 2, mean_len);
+      break;
+    case LengthDist::kSkewed: {
+      const auto z = ZipfLengths(rng, batch, static_cast<double>(mean_len), 1.2, 16);
+      for (size_t i = 0; i < lens.size(); ++i) lens[i] = z[i];
+      break;
+    }
+  }
+  return lens;
+}
+
+}  // namespace flashinfer::serving

@@ -1,0 +1,42 @@
+// Serving workload generation (Sec. 4.1 datasets).
+//
+// The attention engine only sees sequence lengths and arrival times, so the
+// datasets are reproduced as length distributions: a ShareGPT-like
+// log-normal mixture (matching the published prompt/response statistics of
+// the ShareGPT_Vicuna_unfiltered dump), the paper's synthetic "Variable"
+// uniform workload, a Zipf-skewed distribution (Sec. 4.2), and an
+// MT-Bench-like multi-turn workload (Sec. 4.3). Arrivals are Poisson at a
+// configurable request rate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace flashinfer::serving {
+
+struct Request {
+  int id = 0;
+  double arrival_s = 0.0;
+  int64_t input_len = 0;
+  int64_t output_len = 0;
+  /// OpenAI "n" parameter: parallel generations sharing the prompt (Sec. 4.4).
+  int parallel_n = 1;
+};
+
+/// ShareGPT-like conversation lengths: log-normal prompt (~mean 220) and
+/// response (~mean 190), clipped to [4, 2048].
+std::vector<Request> ShareGptWorkload(Rng& rng, int num_requests, double request_rate,
+                                      int parallel_n = 1);
+
+/// The paper's "Variable" workload: input U(lo, hi), fixed output length.
+std::vector<Request> UniformWorkload(Rng& rng, int num_requests, double request_rate,
+                                     int64_t lo, int64_t hi, int64_t output_len = 256);
+
+/// Batch of sequence lengths (no arrivals) for kernel-level benches:
+/// constant / uniform / Zipf-skewed with a target mean (Sec. 4.2).
+enum class LengthDist { kConstant, kUniform, kSkewed };
+std::vector<int64_t> SampleLengths(Rng& rng, LengthDist dist, int batch, int64_t mean_len);
+
+}  // namespace flashinfer::serving

@@ -1,0 +1,92 @@
+#include "sparse/composable.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace flashinfer::sparse {
+
+ComposableFormat BuildSharedPrefixComposable(const std::vector<int64_t>& qo_indptr,
+                                             const std::vector<RequestKv>& unique_kv,
+                                             const std::vector<PrefixGroup>& groups,
+                                             int page_size, int tile_q_unique) {
+  FI_CHECK_EQ(qo_indptr.size() - 1, unique_kv.size());
+  ComposableFormat fmt;
+
+  // --- Level 0: shared prefixes, one block row per group. ---
+  if (!groups.empty()) {
+    BsrMatrix bsr;
+    bsr.bc = page_size;
+    bsr.num_rows = qo_indptr.back();
+    int64_t max_page = -1;
+    int max_group_rows = 1;
+
+    bsr.indptr.push_back(0);
+    bsr.row_start.push_back(0);
+    // Block rows must be listed in row order; sort groups by first member row.
+    std::vector<size_t> order(groups.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return qo_indptr[static_cast<size_t>(groups[a].members.front())] <
+             qo_indptr[static_cast<size_t>(groups[b].members.front())];
+    });
+
+    int64_t cursor = 0;  // Next uncovered row; rows outside groups get their
+                         // own empty block rows so row_start stays contiguous.
+    auto emit_empty_rows_until = [&](int64_t row) {
+      while (cursor < row) {
+        bsr.indptr.push_back(static_cast<int64_t>(bsr.indices.size()));
+        bsr.row_start.push_back(std::min(row, cursor + 1));
+        cursor = bsr.row_start.back();
+      }
+    };
+
+    for (size_t gi : order) {
+      const auto& g = groups[gi];
+      FI_CHECK(!g.members.empty());
+      // Validate member contiguity: rows [first_row, last_row) with no gaps.
+      std::vector<int> members = g.members;
+      std::sort(members.begin(), members.end());
+      for (size_t i = 0; i + 1 < members.size(); ++i) {
+        FI_CHECK_EQ(members[i] + 1, members[i + 1]);
+      }
+      const int64_t first_row = qo_indptr[static_cast<size_t>(members.front())];
+      const int64_t last_row = qo_indptr[static_cast<size_t>(members.back()) + 1];
+      const int64_t prefix_len = g.TokenCount(page_size);
+      for (int r : members) {
+        FI_CHECK_EQ(unique_kv[static_cast<size_t>(r)].pos_offset, prefix_len);
+      }
+      emit_empty_rows_until(first_row);
+      FI_CHECK_EQ(cursor, first_row);
+      int64_t pos = 0;
+      for (size_t p = 0; p < g.pages.size(); ++p) {
+        const int valid = (p + 1 == g.pages.size()) ? g.last_page_len : page_size;
+        bsr.indices.push_back(g.pages[p]);
+        bsr.block_pos.push_back(pos);
+        bsr.block_valid.push_back(valid);
+        max_page = std::max(max_page, g.pages[p]);
+        pos += valid;
+      }
+      bsr.indptr.push_back(static_cast<int64_t>(bsr.indices.size()));
+      bsr.row_start.push_back(last_row);
+      cursor = last_row;
+      max_group_rows = std::max<int>(max_group_rows, static_cast<int>(last_row - first_row));
+    }
+    emit_empty_rows_until(bsr.num_rows);
+
+    bsr.br = max_group_rows;
+    bsr.num_col_blocks = max_page + 1;
+    bsr.Validate();
+    fmt.levels.push_back({std::move(bsr), "shared-prefix (Br=group)", /*partial=*/true});
+  }
+
+  // --- Level 1: unique suffixes at the requested query tile size. ---
+  {
+    BsrMatrix bsr = BuildBatchBsr(qo_indptr, unique_kv, page_size, tile_q_unique);
+    fmt.levels.push_back(
+        {std::move(bsr), "unique-suffix (Br=tile_q)", /*partial=*/!groups.empty()});
+  }
+  return fmt;
+}
+
+}  // namespace flashinfer::sparse

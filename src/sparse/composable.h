@@ -1,0 +1,58 @@
+// Composable formats (Sec. 3.1.2, Fig. 3).
+//
+// A single BSR is stuck with one Br: large Br lets requests in the same block
+// share KV loads through shared memory, small Br avoids fragmentation. When
+// some requests share a prefix, the prefix columns x member rows form a dense
+// submatrix, so we split the KV sparse matrix into multiple BSR "levels":
+//   level 0: shared prefixes, Br = group size  (KV read once per group)
+//   level 1: unique suffixes, Br = query tile  (usually 1 for decode)
+// Decomposition builds new index arrays only — KV data never moves. Each
+// level produces partial attention states that the contraction kernel merges
+// with the ⊕ operator (Sec. 2.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/bsr.h"
+
+namespace flashinfer::sparse {
+
+/// A set of requests sharing one cached prefix.
+struct PrefixGroup {
+  /// Physical pages of the shared prefix, in order.
+  std::vector<int64_t> pages;
+  /// Valid tokens in the last prefix page.
+  int last_page_len = 0;
+  /// Member requests (indices into the batch); their query rows must be
+  /// contiguous in the batch layout.
+  std::vector<int> members;
+
+  int64_t TokenCount(int page_size) const noexcept {
+    if (pages.empty()) return 0;
+    return static_cast<int64_t>(pages.size() - 1) * page_size + last_page_len;
+  }
+};
+
+/// Multi-format decomposition of one batch's KV sparse matrix.
+struct ComposableFormat {
+  struct Level {
+    BsrMatrix bsr;
+    std::string description;
+    /// True when another level may also contribute to these rows, so this
+    /// level's outputs are partial states that must be ⊕-merged.
+    bool partial = true;
+  };
+  std::vector<Level> levels;
+};
+
+/// Builds the two-level shared-prefix decomposition. `qo_indptr` gives each
+/// request's (head-group-fused) query rows; `unique_kv[r]` holds request r's
+/// suffix pages with pos_offset == its group's prefix length (validated).
+/// Requests not covered by any group only appear in the unique level.
+ComposableFormat BuildSharedPrefixComposable(const std::vector<int64_t>& qo_indptr,
+                                             const std::vector<RequestKv>& unique_kv,
+                                             const std::vector<PrefixGroup>& groups,
+                                             int page_size, int tile_q_unique);
+
+}  // namespace flashinfer::sparse

@@ -1,0 +1,19 @@
+#include "sparse/gather.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace flashinfer::sparse {
+
+size_t GatherRowsBytes(const void* const* row_ptrs, int num_rows, size_t row_bytes, void* dst) {
+  FI_CHECK_GE(num_rows, 0);
+  auto* out = static_cast<unsigned char*>(dst);
+  for (int i = 0; i < num_rows; ++i) {
+    FI_CHECK(row_ptrs[i] != nullptr);
+    std::memcpy(out + static_cast<size_t>(i) * row_bytes, row_ptrs[i], row_bytes);
+  }
+  return static_cast<size_t>(num_rows) * row_bytes;
+}
+
+}  // namespace flashinfer::sparse

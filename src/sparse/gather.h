@@ -1,0 +1,29 @@
+// Sparse row gathering (Sec. 3.2.1, Fig. 4).
+//
+// Tensor-core tiles must be contiguous in shared memory, so sparse KV blocks
+// are staged: for each tile row i, the source address is computed from the
+// BSR indices array (indices[(offset+i)/bc]*bc + (offset+i)%bc) while dense
+// storage uses an affine offset. On the simulator the staging is a real
+// scatter-gather memcpy; the cost difference between sparse and dense
+// appears through the kernel-efficiency model (dense can use TMA on Hopper).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace flashinfer::sparse {
+
+/// Copies `num_rows` scattered rows of `row_bytes` bytes each into the
+/// contiguous buffer `dst` (size >= num_rows*row_bytes). Returns bytes moved.
+size_t GatherRowsBytes(const void* const* row_ptrs, int num_rows, size_t row_bytes, void* dst);
+
+/// Typed convenience over GatherRowsBytes.
+template <typename T>
+size_t GatherRows(const std::vector<const T*>& row_ptrs, int width, T* dst) {
+  return GatherRowsBytes(reinterpret_cast<const void* const*>(row_ptrs.data()),
+                         static_cast<int>(row_ptrs.size()), sizeof(T) * static_cast<size_t>(width),
+                         dst);
+}
+
+}  // namespace flashinfer::sparse

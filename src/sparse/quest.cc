@@ -1,0 +1,93 @@
+#include "sparse/quest.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace flashinfer::sparse {
+
+PageKeyMetadata BuildPageMetadata(const PagedKVCache& kv, int seq) {
+  PageKeyMetadata meta;
+  meta.head_dim = kv.head_dim();
+  meta.num_heads = kv.num_kv_heads();
+  const auto& pages = kv.SequencePages(seq);
+  meta.num_pages = static_cast<int64_t>(pages.size());
+  const size_t per_page = static_cast<size_t>(meta.num_heads) * meta.head_dim;
+  meta.min_k.assign(static_cast<size_t>(meta.num_pages) * per_page,
+                    std::numeric_limits<float>::infinity());
+  meta.max_k.assign(static_cast<size_t>(meta.num_pages) * per_page,
+                    -std::numeric_limits<float>::infinity());
+
+  for (int64_t p = 0; p < meta.num_pages; ++p) {
+    const int valid = (p + 1 == meta.num_pages)
+                          ? kv.LastPageLen(seq)
+                          : kv.page_size();
+    for (int h = 0; h < meta.num_heads; ++h) {
+      float* mn = meta.min_k.data() + (static_cast<size_t>(p) * meta.num_heads + h) *
+                                          static_cast<size_t>(meta.head_dim);
+      float* mx = meta.max_k.data() + (static_cast<size_t>(p) * meta.num_heads + h) *
+                                          static_cast<size_t>(meta.head_dim);
+      for (int t = 0; t < valid; ++t) {
+        for (int d = 0; d < meta.head_dim; ++d) {
+          const float v = kv.KAt(pages[static_cast<size_t>(p)], h, t, d);
+          mn[d] = std::min(mn[d], v);
+          mx[d] = std::max(mx[d], v);
+        }
+      }
+    }
+  }
+  return meta;
+}
+
+float PageScoreUpperBound(std::span<const float> q, std::span<const float> min_k,
+                          std::span<const float> max_k) noexcept {
+  float score = 0.0f;
+  for (size_t d = 0; d < q.size(); ++d) {
+    score += std::max(q[d] * min_k[d], q[d] * max_k[d]);
+  }
+  return score;
+}
+
+std::vector<int> SelectTopPages(const PageKeyMetadata& meta, std::span<const float> q,
+                                int num_qo_heads, int page_budget) {
+  FI_CHECK_GE(page_budget, 1);
+  FI_CHECK_EQ(static_cast<int>(q.size()), num_qo_heads * meta.head_dim);
+  const int64_t n = meta.num_pages;
+  if (n <= page_budget) {
+    std::vector<int> all(static_cast<size_t>(n));
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+
+  const int group = num_qo_heads / meta.num_heads;
+  std::vector<float> scores(static_cast<size_t>(n), 0.0f);
+  for (int64_t p = 0; p < n; ++p) {
+    float s = 0.0f;
+    for (int qh = 0; qh < num_qo_heads; ++qh) {
+      const int kvh = qh / group;
+      s += PageScoreUpperBound(
+          q.subspan(static_cast<size_t>(qh) * meta.head_dim,
+                    static_cast<size_t>(meta.head_dim)),
+          meta.MinK(p, kvh), meta.MaxK(p, kvh));
+    }
+    scores[static_cast<size_t>(p)] = s;
+  }
+
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  // The newest page always stays (it holds the current context tail).
+  const int last = static_cast<int>(n - 1);
+  std::partial_sort(order.begin(), order.begin() + page_budget, order.end(),
+                    [&](int a, int b) {
+                      if (a == last) return true;
+                      if (b == last) return false;
+                      return scores[static_cast<size_t>(a)] > scores[static_cast<size_t>(b)];
+                    });
+  std::vector<int> sel(order.begin(), order.begin() + page_budget);
+  std::sort(sel.begin(), sel.end());
+  return sel;
+}
+
+}  // namespace flashinfer::sparse

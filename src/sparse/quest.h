@@ -1,0 +1,56 @@
+// Quest-style query-aware KV page selection (Tang et al. 2024; evaluated in
+// Appendix G.5). Quest keeps per-page elementwise min/max key metadata; at
+// decode time the upper bound of q·k over a page is
+//   sum_d max(q_d * min_d, q_d * max_d)
+// and only the top-`page_budget` pages by this bound participate in
+// attention. FlashInfer's contribution is executing that fine-grained
+// (block-16) sparsity efficiently — BuildPrunedBsr turns the selection into
+// the BSR the kernels consume.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kvcache/paged.h"
+
+namespace flashinfer::sparse {
+
+/// Per-(page, head) key bounds for one sequence.
+struct PageKeyMetadata {
+  int head_dim = 0;
+  int num_heads = 0;
+  /// [num_pages][num_heads][head_dim] elementwise minima / maxima.
+  std::vector<float> min_k;
+  std::vector<float> max_k;
+  int64_t num_pages = 0;
+
+  std::span<const float> MinK(int64_t page_idx, int head) const noexcept {
+    const size_t off =
+        (static_cast<size_t>(page_idx) * num_heads + static_cast<size_t>(head)) *
+        static_cast<size_t>(head_dim);
+    return {min_k.data() + off, static_cast<size_t>(head_dim)};
+  }
+  std::span<const float> MaxK(int64_t page_idx, int head) const noexcept {
+    const size_t off =
+        (static_cast<size_t>(page_idx) * num_heads + static_cast<size_t>(head)) *
+        static_cast<size_t>(head_dim);
+    return {max_k.data() + off, static_cast<size_t>(head_dim)};
+  }
+};
+
+/// Builds the metadata for a cached sequence by scanning its pages.
+PageKeyMetadata BuildPageMetadata(const PagedKVCache& kv, int seq);
+
+/// Upper bound of q·k over one page (Quest's criticality score).
+float PageScoreUpperBound(std::span<const float> q, std::span<const float> min_k,
+                          std::span<const float> max_k) noexcept;
+
+/// Selects the top-`page_budget` page indices for query `q` (averaged over
+/// heads, as Quest does for shared selection across a GQA group). The last
+/// page (holding the newest tokens) is always kept. Returned indices are
+/// sorted ascending.
+std::vector<int> SelectTopPages(const PageKeyMetadata& meta, std::span<const float> q,
+                                int num_qo_heads, int page_budget);
+
+}  // namespace flashinfer::sparse

@@ -1,0 +1,45 @@
+// Lightweight assertion utilities used across the library.
+//
+// FI_CHECK(cond) aborts with a source location when `cond` is false; the
+// _EQ/_LE/... forms print both operands. These checks are active in all build
+// types: the library is a research artifact and silent corruption is worse
+// than a crash.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace flashinfer::detail {
+
+[[noreturn]] inline void CheckFail(const char* file, int line, const std::string& msg) {
+  std::cerr << "[FI_CHECK failed] " << file << ":" << line << ": " << msg << std::endl;
+  std::abort();
+}
+
+}  // namespace flashinfer::detail
+
+#define FI_CHECK(cond)                                                              \
+  do {                                                                              \
+    if (!(cond)) ::flashinfer::detail::CheckFail(__FILE__, __LINE__, #cond);        \
+  } while (0)
+
+#define FI_CHECK_BINOP(a, b, op)                                                    \
+  do {                                                                              \
+    auto fi_chk_a_ = (a);                                                           \
+    auto fi_chk_b_ = (b);                                                           \
+    if (!(fi_chk_a_ op fi_chk_b_)) {                                                \
+      std::ostringstream fi_chk_os_;                                                \
+      fi_chk_os_ << #a " " #op " " #b " (" << fi_chk_a_ << " vs " << fi_chk_b_      \
+                 << ")";                                                            \
+      ::flashinfer::detail::CheckFail(__FILE__, __LINE__, fi_chk_os_.str());        \
+    }                                                                               \
+  } while (0)
+
+#define FI_CHECK_EQ(a, b) FI_CHECK_BINOP(a, b, ==)
+#define FI_CHECK_NE(a, b) FI_CHECK_BINOP(a, b, !=)
+#define FI_CHECK_LT(a, b) FI_CHECK_BINOP(a, b, <)
+#define FI_CHECK_LE(a, b) FI_CHECK_BINOP(a, b, <=)
+#define FI_CHECK_GT(a, b) FI_CHECK_BINOP(a, b, >)
+#define FI_CHECK_GE(a, b) FI_CHECK_BINOP(a, b, >=)

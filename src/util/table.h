@@ -1,0 +1,35 @@
+// ASCII table printer used by the benchmark harnesses to reproduce the rows
+// of the paper's tables and figures in a readable, diff-friendly format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flashinfer {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Appends a row; the row is padded or truncated to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with column alignment and +--+ separators.
+  std::string ToString() const;
+
+  /// Convenience: renders and writes to stdout.
+  void Print() const;
+
+  /// Formats a double with `digits` decimal places.
+  static std::string Num(double v, int digits = 2);
+
+  /// Formats a percentage with sign, e.g. "+13.73%".
+  static std::string SignedPct(double v, int digits = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flashinfer

@@ -1,0 +1,89 @@
+#include "util/threadpool.h"
+
+namespace flashinfer {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 1;
+  }
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::RunTask(TaskState& task) {
+  for (;;) {
+    const int64_t i = task.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= task.n) break;
+    task.fn(i);
+    if (task.done.fetch_add(1, std::memory_order_acq_rel) + 1 == task.n) {
+      // Last iteration: wake the caller. Locking before notify avoids a
+      // missed wakeup between the caller's predicate check and its wait.
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    std::shared_ptr<TaskState> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return shutdown_ || epoch_ > seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      task = current_;  // May be null if the task already finished.
+    }
+    if (task) RunTask(*task);
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  bool serial = workers_.empty() || n == 1;
+  if (!serial) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (in_parallel_) serial = true;  // Nested call: run inline.
+  }
+  if (serial) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto task = std::make_shared<TaskState>();
+  task->fn = fn;
+  task->n = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_parallel_ = true;
+    current_ = task;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  RunTask(*task);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return task->done.load(std::memory_order_acquire) == n; });
+    current_.reset();
+    in_parallel_ = false;
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace flashinfer

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/attention_state.h"
+#include "util/rng.h"
+
+namespace flashinfer {
+namespace {
+
+/// Directly computes the attention state over scores/values (Eq. 1-2).
+AttentionState DirectState(const std::vector<double>& scores,
+                           const std::vector<std::vector<float>>& values, int d) {
+  AttentionState s = AttentionState::Identity(d);
+  if (scores.empty()) return s;
+  double m = *std::max_element(scores.begin(), scores.end());
+  double den = 0.0;
+  for (double sc : scores) den += std::exp(sc - m);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const double w = std::exp(scores[i] - m) / den;
+    for (int dd = 0; dd < d; ++dd) {
+      s.o[static_cast<size_t>(dd)] += static_cast<float>(w * values[i][static_cast<size_t>(dd)]);
+    }
+  }
+  s.lse = static_cast<float>(m + std::log(den));
+  return s;
+}
+
+struct Fixture {
+  std::vector<double> scores;
+  std::vector<std::vector<float>> values;
+  int d;
+};
+
+Fixture MakeFixture(uint64_t seed, int n, int d) {
+  Rng rng(seed);
+  Fixture f;
+  f.d = d;
+  for (int i = 0; i < n; ++i) {
+    f.scores.push_back(rng.Normal(0.0, 2.0));
+    std::vector<float> v(static_cast<size_t>(d));
+    for (auto& x : v) x = static_cast<float>(rng.Normal(0.0, 1.0));
+    f.values.push_back(std::move(v));
+  }
+  return f;
+}
+
+AttentionState SubsetState(const Fixture& f, size_t lo, size_t hi) {
+  return DirectState({f.scores.begin() + lo, f.scores.begin() + hi},
+                     {f.values.begin() + lo, f.values.begin() + hi}, f.d);
+}
+
+void ExpectStateNear(const AttentionState& a, const AttentionState& b, float tol) {
+  ASSERT_EQ(a.o.size(), b.o.size());
+  EXPECT_NEAR(a.lse, b.lse, tol);
+  for (size_t i = 0; i < a.o.size(); ++i) EXPECT_NEAR(a.o[i], b.o[i], tol);
+}
+
+TEST(AttentionState, IdentityIsNeutral) {
+  const auto f = MakeFixture(1, 8, 4);
+  auto s = SubsetState(f, 0, 8);
+  auto acc = AttentionState::Identity(4);
+  MergeState(acc, s);
+  ExpectStateNear(acc, s, 1e-6f);
+  // Right identity too.
+  auto s2 = s;
+  MergeState(s2, AttentionState::Identity(4));
+  ExpectStateNear(s2, s, 1e-6f);
+}
+
+TEST(AttentionState, MergeOfDisjointSubsetsEqualsWhole) {
+  const auto f = MakeFixture(2, 16, 8);
+  const auto whole = SubsetState(f, 0, 16);
+  auto left = SubsetState(f, 0, 7);
+  const auto right = SubsetState(f, 7, 16);
+  MergeState(left, right);
+  ExpectStateNear(left, whole, 1e-4f);
+}
+
+TEST(AttentionState, Commutative) {
+  const auto f = MakeFixture(3, 10, 4);
+  auto a = SubsetState(f, 0, 4);
+  const auto b = SubsetState(f, 4, 10);
+  auto ab = a;
+  MergeState(ab, b);
+  auto ba = b;
+  MergeState(ba, a);
+  ExpectStateNear(ab, ba, 1e-5f);
+}
+
+TEST(AttentionState, Associative) {
+  const auto f = MakeFixture(4, 12, 4);
+  const auto a = SubsetState(f, 0, 3);
+  const auto b = SubsetState(f, 3, 8);
+  const auto c = SubsetState(f, 8, 12);
+  auto left = a;  // (a+b)+c
+  MergeState(left, b);
+  MergeState(left, c);
+  auto bc = b;  // a+(b+c)
+  MergeState(bc, c);
+  auto right = a;
+  MergeState(right, bc);
+  ExpectStateNear(left, right, 1e-5f);
+}
+
+class PartitionSweep : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+
+TEST_P(PartitionSweep, AnyPartitionComposesToWhole) {
+  const auto [n, num_parts, seed] = GetParam();
+  const auto f = MakeFixture(seed, n, 8);
+  const auto whole = SubsetState(f, 0, static_cast<size_t>(n));
+
+  // Random partition boundaries.
+  Rng rng(seed ^ 0xABCD);
+  std::vector<size_t> cuts{0, static_cast<size_t>(n)};
+  for (int i = 0; i < num_parts - 1; ++i) {
+    cuts.push_back(static_cast<size_t>(rng.UniformInt(0, n)));
+  }
+  std::sort(cuts.begin(), cuts.end());
+
+  std::vector<AttentionState> parts;
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    parts.push_back(SubsetState(f, cuts[i], cuts[i + 1]));  // May be empty.
+  }
+  const auto merged = MergeAll(parts, 8);
+  ExpectStateNear(merged, whole, 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Partitions, PartitionSweep,
+    ::testing::Combine(::testing::Values(1, 2, 17, 64), ::testing::Values(2, 3, 8),
+                       ::testing::Values(uint64_t{5}, uint64_t{77}, uint64_t{991})));
+
+TEST(AttentionState, ExtremeScoresStayFinite) {
+  // Large score gaps must not overflow exp().
+  AttentionState a = AttentionState::Identity(2);
+  a.o = {1.0f, 2.0f};
+  a.lse = 500.0f;
+  AttentionState b = AttentionState::Identity(2);
+  b.o = {-1.0f, 3.0f};
+  b.lse = -500.0f;
+  auto acc = a;
+  MergeState(acc, b);
+  EXPECT_TRUE(std::isfinite(acc.lse));
+  // b's contribution is negligible: result ~ a.
+  EXPECT_NEAR(acc.o[0], 1.0f, 1e-5f);
+  EXPECT_NEAR(acc.lse, 500.0f, 1e-5f);
+}
+
+TEST(AttentionState, MergeManyIdentitiesIsIdentity) {
+  std::vector<AttentionState> parts(5, AttentionState::Identity(3));
+  const auto merged = MergeAll(parts, 3);
+  EXPECT_TRUE(std::isinf(merged.lse));
+  EXPECT_LT(merged.lse, 0.0f);
+  for (float x : merged.o) EXPECT_EQ(x, 0.0f);
+}
+
+}  // namespace
+}  // namespace flashinfer

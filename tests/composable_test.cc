@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "sparse/composable.h"
+
+namespace flashinfer::sparse {
+namespace {
+
+/// Mirrors Fig. 3: two groups of requests sharing prefixes, decode queries.
+TEST(Composable, FigureThreeLayout) {
+  const int page_size = 1;  // Vector-granularity pages, as in the figure.
+  // 6 requests, 1 query row each; requests 0-2 share prefix A (3 tokens),
+  // requests 3-5 share prefix B (2 tokens).
+  std::vector<int64_t> qo_indptr{0, 1, 2, 3, 4, 5, 6};
+  std::vector<RequestKv> unique_kv(6);
+  for (int r = 0; r < 6; ++r) {
+    const int64_t prefix = r < 3 ? 3 : 2;
+    unique_kv[static_cast<size_t>(r)].pages = {100 + r};  // One unique token.
+    unique_kv[static_cast<size_t>(r)].last_page_len = 1;
+    unique_kv[static_cast<size_t>(r)].pos_offset = prefix;
+  }
+  PrefixGroup a, b;
+  a.pages = {10, 11, 12};
+  a.last_page_len = 1;
+  a.members = {0, 1, 2};
+  b.pages = {20, 21};
+  b.last_page_len = 1;
+  b.members = {3, 4, 5};
+
+  const auto fmt = BuildSharedPrefixComposable(qo_indptr, unique_kv, {a, b}, page_size,
+                                               /*tile_q_unique=*/1);
+  ASSERT_EQ(fmt.levels.size(), 2u);
+
+  // Level 0: block size (3, 1), two block rows covering rows [0,3) and [3,6).
+  const auto& l0 = fmt.levels[0].bsr;
+  EXPECT_EQ(l0.br, 3);
+  EXPECT_EQ(l0.bc, 1);
+  EXPECT_EQ(l0.NumBlockRows(), 2);
+  EXPECT_EQ(l0.RowsInBlock(0), 3);
+  EXPECT_EQ(l0.RowsInBlock(1), 3);
+  EXPECT_EQ(l0.RowKvLen(0), 3);  // Prefix A tokens.
+  EXPECT_EQ(l0.RowKvLen(1), 2);  // Prefix B tokens.
+  EXPECT_EQ(l0.indices[0], 10);
+  EXPECT_TRUE(fmt.levels[0].partial);
+
+  // Level 1: block size (1, 1), one unique token per request, positioned
+  // after the prefix.
+  const auto& l1 = fmt.levels[1].bsr;
+  EXPECT_EQ(l1.br, 1);
+  EXPECT_EQ(l1.NumBlockRows(), 6);
+  EXPECT_EQ(l1.RowKvLen(0), 1);
+  EXPECT_EQ(l1.block_pos[0], 3);  // After prefix A.
+  EXPECT_EQ(l1.block_pos[3], 2);  // After prefix B.
+  EXPECT_TRUE(fmt.levels[1].partial);
+}
+
+TEST(Composable, UngroupedRequestsGetOwnBlockRows) {
+  // Request 1 shares nothing; level 0 must still cover its rows (empty).
+  std::vector<int64_t> qo_indptr{0, 1, 2, 3};
+  std::vector<RequestKv> unique_kv(3);
+  for (int r = 0; r < 3; ++r) {
+    unique_kv[static_cast<size_t>(r)].pages = {50 + r};
+    unique_kv[static_cast<size_t>(r)].last_page_len = 2;
+    unique_kv[static_cast<size_t>(r)].pos_offset = (r == 1) ? 0 : 4;
+  }
+  PrefixGroup g;
+  g.pages = {1, 2};
+  g.last_page_len = 2;
+  g.members = {0};  // Single-member "group" (request 0 only).
+  // Members must be contiguous; request 2 is separate, so we use two groups.
+  PrefixGroup g2;
+  g2.pages = {3, 4};
+  g2.last_page_len = 2;
+  g2.members = {2};
+
+  const auto fmt =
+      BuildSharedPrefixComposable(qo_indptr, unique_kv, {g, g2}, /*page_size=*/2, 1);
+  const auto& l0 = fmt.levels[0].bsr;
+  l0.Validate();
+  // Row 1 (request 1) is covered by an empty block row.
+  bool found_empty = false;
+  for (int64_t brow = 0; brow < l0.NumBlockRows(); ++brow) {
+    if (l0.row_start[static_cast<size_t>(brow)] == 1 &&
+        l0.row_start[static_cast<size_t>(brow) + 1] == 2) {
+      EXPECT_EQ(l0.RowKvLen(brow), 0);
+      found_empty = true;
+    }
+  }
+  EXPECT_TRUE(found_empty);
+}
+
+TEST(Composable, GroupsWithMultiTokenQueries) {
+  // Speculative decoding: each group member carries 4 query rows.
+  std::vector<int64_t> qo_indptr{0, 4, 8};
+  std::vector<RequestKv> unique_kv(2);
+  for (int r = 0; r < 2; ++r) {
+    unique_kv[static_cast<size_t>(r)].pages = {60 + r};
+    unique_kv[static_cast<size_t>(r)].last_page_len = 4;
+    unique_kv[static_cast<size_t>(r)].pos_offset = 8;
+  }
+  PrefixGroup g;
+  g.pages = {1, 2};
+  g.last_page_len = 4;
+  g.members = {0, 1};
+  const auto fmt = BuildSharedPrefixComposable(qo_indptr, unique_kv, {g}, 4, 4);
+  EXPECT_EQ(fmt.levels[0].bsr.br, 8);  // Whole group in one tile.
+  EXPECT_EQ(fmt.levels[0].bsr.RowsInBlock(0), 8);
+  EXPECT_EQ(fmt.levels[0].bsr.RowKvLen(0), 8);
+}
+
+TEST(Composable, NoGroupsDegeneratesToSingleLevel) {
+  std::vector<int64_t> qo_indptr{0, 1};
+  std::vector<RequestKv> unique_kv(1);
+  unique_kv[0].pages = {0};
+  unique_kv[0].last_page_len = 1;
+  const auto fmt = BuildSharedPrefixComposable(qo_indptr, unique_kv, {}, 4, 1);
+  ASSERT_EQ(fmt.levels.size(), 1u);
+  EXPECT_FALSE(fmt.levels[0].partial);  // Sole level: outputs are final.
+}
+
+}  // namespace
+}  // namespace flashinfer::sparse

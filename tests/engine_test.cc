@@ -1,0 +1,138 @@
+// Serving-engine edge cases and regression tests.
+#include <gtest/gtest.h>
+
+#include "serving/engine.h"
+
+namespace flashinfer::serving {
+namespace {
+
+EngineConfig BaseConfig() {
+  EngineConfig cfg;
+  cfg.model = Llama31_8B();
+  cfg.device = gpusim::H100Sxm80GB();
+  cfg.backend = FlashInferBackend();
+  return cfg;
+}
+
+TEST(Engine, OversizedPromptStillAdmits) {
+  // Regression: a prompt longer than max_prefill_tokens must admit alone
+  // rather than starving forever (previously an infinite loop).
+  auto cfg = BaseConfig();
+  cfg.max_prefill_tokens = 1024;
+  ServingEngine engine(cfg);
+  std::vector<Request> reqs(1);
+  reqs[0].id = 0;
+  reqs[0].arrival_s = 0.0;
+  reqs[0].input_len = 9000;  // > max_prefill_tokens.
+  reqs[0].output_len = 4;
+  const auto m = engine.Run(reqs);
+  EXPECT_EQ(m.ttft_ms.size(), 1u);
+  EXPECT_EQ(m.total_output_tokens, 4);
+}
+
+TEST(Engine, PrefillBudgetBatchesAdmissions) {
+  auto cfg = BaseConfig();
+  cfg.max_prefill_tokens = 600;
+  ServingEngine engine(cfg);
+  // Three 512-token prompts arriving together: 512 + 512 > 600, so they
+  // prefill in separate steps -> strictly increasing TTFTs.
+  std::vector<Request> reqs(3);
+  for (int i = 0; i < 3; ++i) {
+    reqs[i].id = i;
+    reqs[i].arrival_s = 0.0;
+    reqs[i].input_len = 512;
+    reqs[i].output_len = 2;
+  }
+  const auto m = engine.Run(reqs);
+  ASSERT_EQ(m.ttft_ms.size(), 3u);
+  EXPECT_LT(m.ttft_ms[0], m.ttft_ms[1]);
+  EXPECT_LT(m.ttft_ms[1], m.ttft_ms[2]);
+}
+
+TEST(Engine, EmptyWorkload) {
+  ServingEngine engine(BaseConfig());
+  const auto m = engine.Run({});
+  EXPECT_EQ(m.total_output_tokens, 0);
+  EXPECT_EQ(m.num_steps, 0);
+}
+
+TEST(Engine, IdleGapsSkipToNextArrival) {
+  ServingEngine engine(BaseConfig());
+  std::vector<Request> reqs(2);
+  reqs[0] = {0, 0.0, 64, 2, 1};
+  reqs[1] = {1, 100.0, 64, 2, 1};  // Arrives after a long idle gap.
+  const auto m = engine.Run(reqs);
+  // Request 1's TTFT is measured from ITS arrival, not from t=0.
+  EXPECT_LT(m.ttft_ms[1], 1000.0);
+  EXPECT_GE(m.makespan_s, 100.0);
+}
+
+TEST(Engine, OutputTokenAccounting) {
+  ServingEngine engine(BaseConfig());
+  std::vector<Request> reqs(4);
+  for (int i = 0; i < 4; ++i) reqs[i] = {i, 0.01 * i, 32, 10, 1};
+  const auto m = engine.Run(reqs);
+  EXPECT_EQ(m.total_output_tokens, 4 * 10);
+  // ITL gaps: 9 per request (first token comes from prefill).
+  EXPECT_EQ(m.itl_ms.size(), 4u * 9u);
+}
+
+TEST(Engine, ParallelBranchesMultiplyOutputs) {
+  ServingEngine engine(BaseConfig());
+  std::vector<Request> reqs(2);
+  reqs[0] = {0, 0.0, 64, 6, 4};
+  reqs[1] = {1, 0.0, 64, 6, 1};
+  const auto m = engine.Run(reqs);
+  // Request 0: 1 prefill token + 4 branches x 5; request 1: 1 + 5.
+  EXPECT_EQ(m.total_output_tokens, (1 + 4 * 5) + (1 + 5));
+}
+
+TEST(Engine, KvBudgetThrottlesAdmission) {
+  auto cfg = BaseConfig();
+  cfg.hbm_capacity_gb = 17.0;  // Barely above the 8B weights: tiny KV pool.
+  ServingEngine engine(cfg);
+  EXPECT_LT(engine.KvTokenBudget(), 30000);
+  std::vector<Request> reqs(8);
+  for (int i = 0; i < 8; ++i) reqs[i] = {i, 0.0, 2048, 4, 1};
+  const auto m = engine.Run(reqs);  // Must complete despite the tight pool.
+  EXPECT_EQ(m.ttft_ms.size(), 8u);
+  EXPECT_EQ(m.total_output_tokens, 8 * 4);
+}
+
+TEST(Engine, FasterKernelsNeverHurtLatency) {
+  // Sanity: scaling all attention kernels 2x slower must not reduce ITL.
+  Rng rng(9);
+  const auto reqs = ShareGptWorkload(rng, 40, 12.0);
+  auto cfg = BaseConfig();
+  const auto fast = ServingEngine(cfg).Run(reqs);
+  cfg.backend.kernel_time_scale = 2.0;
+  const auto slow = ServingEngine(cfg).Run(reqs);
+  EXPECT_LE(fast.MedianItlMs(), slow.MedianItlMs());
+  EXPECT_LE(fast.makespan_s, slow.makespan_s + 1e-9);
+}
+
+TEST(Engine, TensorParallelReducesItl) {
+  Rng rng(10);
+  const auto reqs = ShareGptWorkload(rng, 30, 6.0);
+  EngineConfig cfg;
+  cfg.device = gpusim::H100Sxm80GB();
+  cfg.backend = FlashInferBackend();
+  cfg.model = Llama31_70B(1);
+  cfg.hbm_capacity_gb = 200.0;  // Hypothetical single-GPU fit.
+  const auto tp1 = ServingEngine(cfg).Run(reqs);
+  cfg.model = Llama31_70B(4);
+  cfg.hbm_capacity_gb = 80.0;
+  const auto tp4 = ServingEngine(cfg).Run(reqs);
+  EXPECT_LT(tp4.MedianItlMs(), tp1.MedianItlMs());
+}
+
+TEST(Backends, PresetsDiffer) {
+  EXPECT_EQ(FlashInferBackend().scheduler, SchedulerKind::kBalanced);
+  EXPECT_NE(TritonBackend().scheduler, SchedulerKind::kBalanced);
+  EXPECT_GT(TritonBackend().kernel_time_scale, 1.0);
+  EXPECT_FALSE(FlashAttentionBackend().head_fusion);
+  EXPECT_GT(VllmDefaultBackend().host_us_per_req, FlashInferBackend().host_us_per_req);
+}
+
+}  // namespace
+}  // namespace flashinfer::serving

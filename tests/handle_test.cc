@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/graph.h"
+#include "runtime/batch_handle.h"
+#include "test_util.h"
+
+namespace flashinfer {
+namespace {
+
+using test::MakeProblem;
+using test::MaxAbsDiff;
+using test::ProblemSpec;
+
+ProblemSpec DecodeSpec() {
+  ProblemSpec spec;
+  spec.qo_lens = {1, 1, 1, 1, 1, 1};
+  spec.kv_lens = {300, 5, 42, 17, 120, 9};
+  spec.num_qo_heads = 4;
+  spec.num_kv_heads = 2;
+  spec.head_dim = 16;
+  spec.page_size = 4;
+  spec.tile_q = 1;  // Matched to the handle's config below.
+  return spec;
+}
+
+BatchAttentionHandle::TaskInfo DecodeTask(const ProblemSpec& spec) {
+  BatchAttentionHandle::TaskInfo info;
+  info.variant = VariantKind::kVanilla;
+  info.kv_dtype = spec.kv_dtype;
+  info.num_qo_heads = spec.num_qo_heads;
+  info.num_kv_heads = spec.num_kv_heads;
+  info.head_dim = spec.head_dim;
+  info.avg_qlen_hint = 0.5;  // Decode: tile_q = group size fused; hint below 1.
+  return info;
+}
+
+TEST(Handle, PlanRunMatchesReference) {
+  auto spec = DecodeSpec();
+  // The handle picks tile_q from the hint; for group size 2, fused hint = 1
+  // -> tile 1. Build the problem's BSR with the same tile.
+  Workspace ws(Workspace::EstimateBytes(2048, 128, spec.head_dim));
+  BatchAttentionHandle handle(gpusim::A100Sxm40GB(), DecodeTask(spec), &ws);
+  spec.tile_q = handle.config().tile_q;
+  auto prob = MakeProblem(spec);
+
+  auto p = prob.Params();  // For the reference only.
+  handle.MutableVariantParams() = p.variant;
+  handle.Plan(&prob.bsr, prob.qo_indptr, spec.kv_lens);
+  const auto report = handle.Run(prob.q, *prob.kv, &prob.o, &prob.lse);
+  EXPECT_GT(report.time_us, 0.0);
+  EXPECT_GT(report.total_hbm_bytes, 0.0);
+
+  auto ref_o = RaggedTensor::Zeros(prob.qo_indptr, prob.q.inner);
+  std::vector<float> ref_lse(prob.lse.size(), 0.0f);
+  ReferenceAttention<VanillaVariant>(p, &ref_o, &ref_lse);
+  EXPECT_LT(MaxAbsDiff(prob.o.data, ref_o.data), 2e-3f);
+  EXPECT_LT(MaxAbsDiff(prob.lse, ref_lse), 2e-3f);
+}
+
+TEST(Handle, SplitKvProducedAndMerged) {
+  auto spec = DecodeSpec();
+  spec.kv_lens = {2000, 3, 3, 3, 3, 3};  // Force splitting of request 0.
+  Workspace ws(Workspace::EstimateBytes(2048, 128, spec.head_dim));
+  BatchAttentionHandle handle(gpusim::A100Sxm40GB(), DecodeTask(spec), &ws);
+  spec.tile_q = handle.config().tile_q;
+  auto prob = MakeProblem(spec);
+  handle.MutableVariantParams().sm_scale = 0.25f;
+  handle.Plan(&prob.bsr, prob.qo_indptr, spec.kv_lens);
+  EXPECT_GT(handle.plan().num_partial_rows, 0);  // Splitting happened.
+  handle.Run(prob.q, *prob.kv, &prob.o, &prob.lse);
+
+  auto p = prob.Params();
+  p.variant.sm_scale = 0.25f;
+  auto ref_o = RaggedTensor::Zeros(prob.qo_indptr, prob.q.inner);
+  ReferenceAttention<VanillaVariant>(p, &ref_o, nullptr);
+  EXPECT_LT(MaxAbsDiff(prob.o.data, ref_o.data), 2e-3f);
+}
+
+TEST(Handle, PlanCacheHitsOnSameLengths) {
+  auto spec = DecodeSpec();
+  Workspace ws(Workspace::EstimateBytes(2048, 128, spec.head_dim));
+  BatchAttentionHandle handle(gpusim::A100Sxm40GB(), DecodeTask(spec), &ws);
+  spec.tile_q = handle.config().tile_q;
+  auto prob = MakeProblem(spec);
+  handle.Plan(&prob.bsr, prob.qo_indptr, spec.kv_lens);
+  EXPECT_EQ(handle.plan_cache_hits(), 0);
+  // Same lengths -> cached (all decode layers of one step reuse the plan).
+  handle.Plan(&prob.bsr, prob.qo_indptr, spec.kv_lens);
+  handle.Plan(&prob.bsr, prob.qo_indptr, spec.kv_lens);
+  EXPECT_EQ(handle.plan_cache_hits(), 2);
+  // Changed lengths -> re-plan.
+  auto longer = spec.kv_lens;
+  longer[0] += 1;
+  auto spec2 = spec;
+  spec2.kv_lens = longer;
+  auto prob2 = MakeProblem(spec2);
+  handle.Plan(&prob2.bsr, prob2.qo_indptr, longer);
+  EXPECT_EQ(handle.plan_cache_hits(), 2);
+}
+
+TEST(Handle, CudaGraphReplayAfterReplan) {
+  // The CUDAGraph workflow of Listing 1: capture run once, then per
+  // generation step call plan() and replay the graph. Replay must reflect
+  // the new plan (contents changed under fixed pointers).
+  auto spec = DecodeSpec();
+  Workspace ws(Workspace::EstimateBytes(2048, 128, spec.head_dim));
+  BatchAttentionHandle handle(gpusim::A100Sxm40GB(), DecodeTask(spec), &ws);
+  spec.tile_q = handle.config().tile_q;
+  auto prob = MakeProblem(spec);
+  handle.MutableVariantParams() = prob.Params().variant;
+
+  handle.Plan(&prob.bsr, prob.qo_indptr, spec.kv_lens);
+  gpusim::CudaGraph graph;
+  graph.BeginCapture();
+  handle.CaptureRun(graph, "decode", prob.q, *prob.kv, &prob.o, &prob.lse);
+  graph.EndCapture();
+
+  graph.Replay();
+  auto p = prob.Params();
+  auto ref_o = RaggedTensor::Zeros(prob.qo_indptr, prob.q.inner);
+  ReferenceAttention<VanillaVariant>(p, &ref_o, nullptr);
+  EXPECT_LT(MaxAbsDiff(prob.o.data, ref_o.data), 2e-3f);
+
+  // "Generate one token": extend request 2 by appending a token, re-plan,
+  // replay the same graph.
+  std::vector<float> k(static_cast<size_t>(spec.num_kv_heads) * spec.head_dim, 0.5f);
+  std::vector<float> v(k.size(), -0.25f);
+  prob.kv->AppendTokens(prob.seq_ids[2], k.data(), v.data(), 1);
+  auto kv_lens = spec.kv_lens;
+  kv_lens[2] += 1;
+  std::vector<sparse::RequestKv> req_kv;
+  for (size_t r = 0; r < prob.seq_ids.size(); ++r) {
+    req_kv.push_back(prob.kv->ExportKv(prob.seq_ids[r]));
+  }
+  const int g = spec.num_qo_heads / spec.num_kv_heads;
+  std::vector<int64_t> fused_lens(spec.qo_lens);
+  for (auto& l : fused_lens) l *= g;
+  auto bsr2 =
+      sparse::BuildBatchBsr(BuildIndptr(fused_lens), req_kv, spec.page_size, spec.tile_q);
+  handle.Plan(&bsr2, prob.qo_indptr, kv_lens);
+  graph.Replay();
+
+  auto p2 = prob.Params();
+  p2.bsr = &bsr2;
+  p2.kv_len = kv_lens;
+  auto ref2 = RaggedTensor::Zeros(prob.qo_indptr, prob.q.inner);
+  ReferenceAttention<VanillaVariant>(p2, &ref2, nullptr);
+  EXPECT_LT(MaxAbsDiff(prob.o.data, ref2.data), 2e-3f);
+}
+
+TEST(Handle, GraphValidatesWorkspacePointer) {
+  auto spec = DecodeSpec();
+  Workspace ws(Workspace::EstimateBytes(2048, 128, spec.head_dim));
+  BatchAttentionHandle handle(gpusim::A100Sxm40GB(), DecodeTask(spec), &ws);
+  spec.tile_q = handle.config().tile_q;
+  auto prob = MakeProblem(spec);
+  handle.Plan(&prob.bsr, prob.qo_indptr, spec.kv_lens);
+  gpusim::CudaGraph graph;
+  graph.BeginCapture();
+  handle.CaptureRun(graph, "decode", prob.q, *prob.kv, &prob.o, &prob.lse);
+  graph.EndCapture();
+  EXPECT_TRUE(graph.ValidateSlot(
+      "decode", {prob.q.data.data(), static_cast<const void*>(&prob.o),
+                 static_cast<const void*>(prob.kv.get()), ws.Base()}));
+  Workspace other(Workspace::EstimateBytes(64, 16, spec.head_dim));
+  EXPECT_FALSE(graph.ValidateSlot(
+      "decode", {prob.q.data.data(), static_cast<const void*>(&prob.o),
+                 static_cast<const void*>(prob.kv.get()), other.Base()}));
+}
+
+TEST(Handle, SchedulerAblationConsistentResults) {
+  // All three scheduling policies must produce identical outputs.
+  auto spec = DecodeSpec();
+  std::vector<std::vector<float>> outputs;
+  for (auto kind :
+       {SchedulerKind::kBalanced, SchedulerKind::kNaive, SchedulerKind::kFixedSplit}) {
+    Workspace ws(Workspace::EstimateBytes(2048, 128, spec.head_dim));
+    auto info = DecodeTask(spec);
+    info.scheduler = kind;
+    BatchAttentionHandle handle(gpusim::A100Sxm40GB(), info, &ws);
+    auto s = spec;
+    s.tile_q = handle.config().tile_q;
+    auto prob = MakeProblem(s);
+    handle.Plan(&prob.bsr, prob.qo_indptr, s.kv_lens);
+    handle.Run(prob.q, *prob.kv, &prob.o, &prob.lse);
+    outputs.push_back(prob.o.data);
+  }
+  EXPECT_LT(MaxAbsDiff(outputs[0], outputs[1]), 1e-4f);
+  EXPECT_LT(MaxAbsDiff(outputs[0], outputs[2]), 1e-4f);
+}
+
+TEST(Handle, BalancedFasterThanNaiveOnSkewedLengths) {
+  auto spec = DecodeSpec();
+  spec.kv_lens = {4000, 4, 4, 4, 4, 4};
+  double times[2];
+  int i = 0;
+  for (auto kind : {SchedulerKind::kBalanced, SchedulerKind::kNaive}) {
+    Workspace ws(Workspace::EstimateBytes(2048, 128, spec.head_dim));
+    auto info = DecodeTask(spec);
+    info.scheduler = kind;
+    BatchAttentionHandle handle(gpusim::A100Sxm40GB(), info, &ws);
+    auto s = spec;
+    s.tile_q = handle.config().tile_q;
+    auto prob = MakeProblem(s);
+    handle.Plan(&prob.bsr, prob.qo_indptr, s.kv_lens);
+    times[i++] = handle.Run(prob.q, *prob.kv, &prob.o, &prob.lse).time_us;
+  }
+  EXPECT_LT(times[0], times[1]);  // Balanced wins on skew.
+}
+
+TEST(Workspace, EstimateMatchesAppendixD3) {
+  // 2 x #CTA x Tq x (D+1) x 4 bytes of partials + fixed plan region.
+  const int64_t bytes = Workspace::EstimateBytes(/*num_ctas=*/216, /*tile_rows=*/4,
+                                                 /*head_dim=*/128);
+  Workspace ws(bytes);
+  ws.Bind(128);
+  EXPECT_GE(ws.MaxPartialRows(), 2 * 216 * 4);
+}
+
+}  // namespace
+}  // namespace flashinfer

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sparse/quest.h"
+#include "test_util.h"
+
+namespace flashinfer::sparse {
+namespace {
+
+TEST(QuestMetadata, BoundsContainAllKeys) {
+  test::ProblemSpec spec;
+  spec.qo_lens = {1};
+  spec.kv_lens = {37};
+  spec.num_qo_heads = 2;
+  spec.num_kv_heads = 2;
+  spec.head_dim = 8;
+  spec.page_size = 8;
+  auto prob = test::MakeProblem(spec);
+  const auto meta = BuildPageMetadata(*prob.kv, prob.seq_ids[0]);
+  EXPECT_EQ(meta.num_pages, 5);  // ceil(37/8).
+
+  const auto& pages = prob.kv->SequencePages(prob.seq_ids[0]);
+  for (int64_t p = 0; p < meta.num_pages; ++p) {
+    const int valid = p == 4 ? 5 : 8;
+    for (int h = 0; h < 2; ++h) {
+      const auto mn = meta.MinK(p, h);
+      const auto mx = meta.MaxK(p, h);
+      for (int t = 0; t < valid; ++t) {
+        for (int d = 0; d < 8; ++d) {
+          const float k = prob.kv->KAt(pages[static_cast<size_t>(p)], h, t, d);
+          EXPECT_GE(k, mn[static_cast<size_t>(d)] - 1e-6f);
+          EXPECT_LE(k, mx[static_cast<size_t>(d)] + 1e-6f);
+        }
+      }
+    }
+  }
+}
+
+TEST(QuestScore, IsUpperBoundOnPageDotProducts) {
+  test::ProblemSpec spec;
+  spec.qo_lens = {1};
+  spec.kv_lens = {64};
+  spec.num_qo_heads = 1;
+  spec.num_kv_heads = 1;
+  spec.head_dim = 16;
+  spec.page_size = 16;
+  auto prob = test::MakeProblem(spec);
+  const auto meta = BuildPageMetadata(*prob.kv, prob.seq_ids[0]);
+  const auto q = prob.q.Row(0);
+  const auto& pages = prob.kv->SequencePages(prob.seq_ids[0]);
+  for (int64_t p = 0; p < meta.num_pages; ++p) {
+    const float bound = PageScoreUpperBound({q.data(), 16}, meta.MinK(p, 0), meta.MaxK(p, 0));
+    for (int t = 0; t < 16; ++t) {
+      float dot = 0;
+      for (int d = 0; d < 16; ++d) {
+        dot += q[static_cast<size_t>(d)] * prob.kv->KAt(pages[static_cast<size_t>(p)], 0, t, d);
+      }
+      EXPECT_LE(dot, bound + 1e-4f);
+    }
+  }
+}
+
+TEST(QuestSelect, BudgetRespectedAndSorted) {
+  test::ProblemSpec spec;
+  spec.qo_lens = {1};
+  spec.kv_lens = {256};
+  spec.num_qo_heads = 2;
+  spec.num_kv_heads = 2;
+  spec.head_dim = 8;
+  spec.page_size = 16;
+  auto prob = test::MakeProblem(spec);
+  const auto meta = BuildPageMetadata(*prob.kv, prob.seq_ids[0]);
+  const auto sel = SelectTopPages(meta, {prob.q.Row(0).data(), prob.q.Row(0).size()}, 2, 5);
+  EXPECT_EQ(sel.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(sel.begin(), sel.end()));
+  // The newest page must always be kept.
+  EXPECT_EQ(sel.back(), static_cast<int>(meta.num_pages - 1));
+}
+
+TEST(QuestSelect, SmallCachesKeepEverything) {
+  test::ProblemSpec spec;
+  spec.qo_lens = {1};
+  spec.kv_lens = {48};
+  spec.num_qo_heads = 1;
+  spec.num_kv_heads = 1;
+  spec.head_dim = 8;
+  spec.page_size = 16;
+  auto prob = test::MakeProblem(spec);
+  const auto meta = BuildPageMetadata(*prob.kv, prob.seq_ids[0]);
+  const auto sel = SelectTopPages(meta, {prob.q.Row(0).data(), prob.q.Row(0).size()}, 1, 8);
+  std::vector<int> all(3);
+  std::iota(all.begin(), all.end(), 0);
+  EXPECT_EQ(sel, all);
+}
+
+TEST(QuestSelect, FindsPlantedCriticalPage) {
+  // Plant a page whose keys align with q: it must be selected.
+  const int head_dim = 16, page_size = 16;
+  PagedKVCache cache(DType::kF32, 1, head_dim, page_size, 32);
+  Rng rng(3);
+  std::vector<float> q(static_cast<size_t>(head_dim));
+  for (auto& x : q) x = static_cast<float>(rng.Normal(0, 1));
+
+  const int seq = cache.CreateSequence();
+  const int64_t tokens = 16 * page_size;
+  std::vector<float> k(static_cast<size_t>(tokens) * head_dim);
+  std::vector<float> v(k.size(), 0.0f);
+  for (auto& x : k) x = static_cast<float>(rng.Normal(0, 0.1));
+  // Page 7 gets q-aligned keys.
+  for (int t = 7 * page_size; t < 8 * page_size; ++t) {
+    for (int d = 0; d < head_dim; ++d) {
+      k[static_cast<size_t>(t * head_dim + d)] = q[static_cast<size_t>(d)];
+    }
+  }
+  cache.AppendTokens(seq, k.data(), v.data(), tokens);
+  const auto meta = BuildPageMetadata(cache, seq);
+  const auto sel = SelectTopPages(meta, {q.data(), q.size()}, 1, 3);
+  EXPECT_TRUE(std::find(sel.begin(), sel.end(), 7) != sel.end());
+}
+
+}  // namespace
+}  // namespace flashinfer::sparse

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "kvcache/radix.h"
+
+namespace flashinfer {
+namespace {
+
+std::vector<int32_t> Tokens(std::initializer_list<int32_t> t) { return t; }
+
+TEST(Radix, MatchEmptyTree) {
+  RadixTree tree(2);
+  const auto m = tree.MatchPrefix(Tokens({1, 2, 3, 4}));
+  EXPECT_EQ(m.matched_tokens, 0);
+  EXPECT_TRUE(m.pages.empty());
+}
+
+TEST(Radix, InsertAndMatchFullPrefix) {
+  RadixTree tree(2);
+  EXPECT_EQ(tree.Insert(Tokens({1, 2, 3, 4}), std::vector<int64_t>{10, 11}), 2);
+  const auto m = tree.MatchPrefix(Tokens({1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(m.matched_tokens, 4);
+  EXPECT_EQ(m.pages, (std::vector<int64_t>{10, 11}));
+}
+
+TEST(Radix, PartialPageNeverShared) {
+  RadixTree tree(4);
+  // Only 1 full page of 4 tokens; the trailing 2 tokens are not cacheable.
+  EXPECT_EQ(tree.Insert(Tokens({1, 2, 3, 4, 5, 6}), std::vector<int64_t>{7, 8}), 1);
+  EXPECT_EQ(tree.TotalCachedPages(), 1);
+  const auto m = tree.MatchPrefix(Tokens({1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(m.matched_tokens, 4);
+}
+
+TEST(Radix, DivergingBranches) {
+  RadixTree tree(2);
+  tree.Insert(Tokens({1, 2, 3, 4}), std::vector<int64_t>{1, 2});
+  tree.Insert(Tokens({1, 2, 9, 9}), std::vector<int64_t>{1, 3});  // Shares page 1.
+  EXPECT_EQ(tree.TotalCachedPages(), 3);  // {1,2} node + two children.
+  const auto a = tree.MatchPrefix(Tokens({1, 2, 3, 4}));
+  EXPECT_EQ(a.pages, (std::vector<int64_t>{1, 2}));
+  const auto b = tree.MatchPrefix(Tokens({1, 2, 9, 9}));
+  EXPECT_EQ(b.pages, (std::vector<int64_t>{1, 3}));
+  const auto c = tree.MatchPrefix(Tokens({1, 2, 5, 5}));
+  EXPECT_EQ(c.matched_tokens, 2);  // Only the shared trunk.
+}
+
+TEST(Radix, InsertExistingReturnsZeroNew) {
+  RadixTree tree(2);
+  tree.Insert(Tokens({1, 2, 3, 4}), std::vector<int64_t>{1, 2});
+  EXPECT_EQ(tree.Insert(Tokens({1, 2, 3, 4}), std::vector<int64_t>{5, 6}), 0);
+  // Original pages kept.
+  EXPECT_EQ(tree.MatchPrefix(Tokens({1, 2, 3, 4})).pages, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(Radix, EvictLruFreesLeafFirst) {
+  RadixTree tree(2);
+  tree.Insert(Tokens({1, 2, 3, 4}), std::vector<int64_t>{1, 2});
+  tree.Insert(Tokens({5, 6}), std::vector<int64_t>{3});
+  // Touch the {1,2,...} path so {5,6} becomes LRU.
+  tree.MatchPrefix(Tokens({1, 2, 3, 4}));
+  const auto freed = tree.EvictLru(1);
+  EXPECT_EQ(freed, (std::vector<int64_t>{3}));
+  EXPECT_EQ(tree.TotalCachedPages(), 2);
+  // Evicting more removes the deepest leaf of the remaining path first.
+  const auto freed2 = tree.EvictLru(2);
+  EXPECT_EQ(freed2.size(), 2u);
+  EXPECT_EQ(tree.TotalCachedPages(), 0);
+}
+
+TEST(Radix, LockPreventsEviction) {
+  RadixTree tree(2);
+  tree.Insert(Tokens({1, 2, 3, 4}), std::vector<int64_t>{1, 2});
+  auto m = tree.MatchPrefix(Tokens({1, 2, 3, 4}));
+  tree.Lock(m.node_path);
+  EXPECT_TRUE(tree.EvictLru(10).empty());
+  tree.Unlock(m.node_path);
+  EXPECT_EQ(tree.EvictLru(10).size(), 2u);
+}
+
+TEST(Radix, DeepSharedPrefixAcrossManyRequests) {
+  RadixTree tree(4);
+  std::vector<int32_t> base(64);
+  std::iota(base.begin(), base.end(), 0);
+  std::vector<int64_t> pages(16);
+  std::iota(pages.begin(), pages.end(), 100);
+  tree.Insert(base, pages);
+  // 50 requests share the 64-token prefix then diverge.
+  for (int r = 0; r < 50; ++r) {
+    auto tokens = base;
+    for (int i = 0; i < 8; ++i) tokens.push_back(1000 + r * 8 + i);
+    const auto m = tree.MatchPrefix(tokens);
+    EXPECT_EQ(m.matched_tokens, 64);
+    std::vector<int64_t> new_pages = m.pages;
+    new_pages.push_back(500 + r * 2);
+    new_pages.push_back(501 + r * 2);
+    tree.Insert(tokens, new_pages);
+  }
+  EXPECT_EQ(tree.TotalCachedPages(), 16 + 50 * 2);
+}
+
+}  // namespace
+}  // namespace flashinfer

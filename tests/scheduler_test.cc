@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "runtime/scheduler.h"
+#include "test_util.h"
+
+namespace flashinfer {
+namespace {
+
+using test::MakeProblem;
+using test::ProblemSpec;
+
+ProblemSpec SkewedSpec() {
+  ProblemSpec spec;
+  spec.qo_lens = {1, 1, 1, 1, 1, 1, 1, 1};
+  spec.kv_lens = {400, 3, 5, 2, 7, 4, 6, 3};  // One giant, seven tiny.
+  spec.num_qo_heads = 2;
+  spec.num_kv_heads = 2;
+  spec.page_size = 4;
+  spec.tile_q = 1;
+  return spec;
+}
+
+/// Collects (block_row, head, kv position) coverage from a plan.
+std::map<std::tuple<int, int, int>, std::vector<std::pair<int64_t, int64_t>>> Coverage(
+    const Plan& plan) {
+  std::map<std::tuple<int, int, int>, std::vector<std::pair<int64_t, int64_t>>> cov;
+  for (const auto& queue : plan.cta_queues) {
+    for (const auto& item : queue) {
+      cov[{item.block_row, item.kv_head, item.qo_head}].push_back(
+          {item.kv_begin, item.kv_end});
+    }
+  }
+  return cov;
+}
+
+TEST(BalancedPlan, CoversEveryUnitExactlyOnce) {
+  auto prob = MakeProblem(SkewedSpec());
+  auto p = prob.Params();
+  KernelConfig cfg;
+  cfg.tile_q = 1;
+  cfg.tile_kv = 4;
+  const auto plan = MakeBalancedPlan(p, cfg, 8, 1 << 20);
+
+  auto cov = Coverage(plan);
+  const auto units = EnumerateWorkUnits(p);
+  EXPECT_EQ(cov.size(), units.size());
+  for (const auto& u : units) {
+    auto ranges = cov.at({u.block_row, u.kv_head, u.qo_head});
+    std::sort(ranges.begin(), ranges.end());
+    // Ranges tile [0, kv_len) without gaps or overlaps.
+    int64_t cursor = 0;
+    for (const auto& [lo, hi] : ranges) {
+      EXPECT_EQ(lo, cursor);
+      EXPECT_LT(lo, hi);
+      cursor = hi;
+    }
+    EXPECT_EQ(cursor, u.kv_len);
+  }
+}
+
+TEST(BalancedPlan, BalancesSkewedWork) {
+  auto prob = MakeProblem(SkewedSpec());
+  auto p = prob.Params();
+  KernelConfig cfg;
+  cfg.tile_q = 1;
+  cfg.tile_kv = 4;
+  const int ctas = 8;
+  const auto balanced = MakeBalancedPlan(p, cfg, ctas, 1 << 20);
+  const auto naive = MakeNaivePlan(p, cfg);
+
+  // Balanced: the 400-token request splits across CTAs, so the busiest CTA
+  // carries far less than the whole request.
+  const double balanced_max = balanced.MaxCtaCost(cfg.tile_q);
+  double naive_max = 0;
+  for (const auto& q : naive.cta_queues) {
+    double c = 0;
+    for (const auto& it : q) c += static_cast<double>(it.kv_end - it.kv_begin);
+    naive_max = std::max(naive_max, c);
+  }
+  EXPECT_LT(balanced_max, naive_max * 0.5);
+  // And the spread between busiest and idlest CTA is bounded by one chunk.
+  EXPECT_LE(balanced_max - balanced.MinCtaCost(cfg.tile_q),
+            static_cast<double>(balanced.lkv_chunk) + cfg.tile_q + 1.0);
+}
+
+TEST(BalancedPlan, ChunkCapMatchesAlgorithmLine3) {
+  auto prob = MakeProblem(SkewedSpec());
+  auto p = prob.Params();
+  KernelConfig cfg;
+  cfg.tile_q = 1;
+  cfg.tile_kv = 4;
+  const int ctas = 8;
+  const auto plan = MakeBalancedPlan(p, cfg, ctas, 1 << 20);
+  int64_t total_kv = 0;
+  for (const auto& u : EnumerateWorkUnits(p)) total_kv += u.kv_len;
+  const int64_t expect =
+      ((total_kv + ctas - 1) / ctas + cfg.tile_kv - 1) / cfg.tile_kv * cfg.tile_kv;
+  EXPECT_EQ(plan.lkv_chunk, expect);
+  for (const auto& queue : plan.cta_queues) {
+    for (const auto& item : queue) {
+      EXPECT_LE(item.kv_end - item.kv_begin, plan.lkv_chunk);
+    }
+  }
+}
+
+TEST(BalancedPlan, Deterministic) {
+  auto prob = MakeProblem(SkewedSpec());
+  auto p = prob.Params();
+  KernelConfig cfg;
+  cfg.tile_q = 1;
+  cfg.tile_kv = 4;
+  const auto a = MakeBalancedPlan(p, cfg, 6, 1 << 20);
+  const auto b = MakeBalancedPlan(p, cfg, 6, 1 << 20);
+  ASSERT_EQ(a.cta_queues.size(), b.cta_queues.size());
+  for (size_t c = 0; c < a.cta_queues.size(); ++c) {
+    ASSERT_EQ(a.cta_queues[c].size(), b.cta_queues[c].size());
+    for (size_t i = 0; i < a.cta_queues[c].size(); ++i) {
+      EXPECT_EQ(a.cta_queues[c][i].block_row, b.cta_queues[c][i].block_row);
+      EXPECT_EQ(a.cta_queues[c][i].kv_begin, b.cta_queues[c][i].kv_begin);
+      EXPECT_EQ(a.cta_queues[c][i].dest, b.cta_queues[c][i].dest);
+    }
+  }
+  // Reduction maps identical too.
+  ASSERT_EQ(a.rmap.tasks.size(), b.rmap.tasks.size());
+  EXPECT_EQ(a.rmap.slots, b.rmap.slots);
+}
+
+TEST(BalancedPlan, WritethroughForUnsplitUnits) {
+  // Uniform tiny requests: nothing splits, everything writes through.
+  ProblemSpec spec;
+  spec.qo_lens = {1, 1, 1, 1};
+  spec.kv_lens = {8, 8, 8, 8};
+  spec.num_qo_heads = 2;
+  spec.num_kv_heads = 2;
+  spec.tile_q = 1;
+  auto prob = MakeProblem(spec);
+  auto p = prob.Params();
+  KernelConfig cfg;
+  cfg.tile_q = 1;
+  cfg.tile_kv = 16;
+  const auto plan = MakeBalancedPlan(p, cfg, 4, 1 << 20);
+  EXPECT_EQ(plan.num_partial_rows, 0);
+  EXPECT_TRUE(plan.rmap.Empty());
+  for (const auto& q : plan.cta_queues) {
+    for (const auto& it : q) EXPECT_EQ(it.dest, -1);
+  }
+}
+
+TEST(BalancedPlan, PartialRowsWithinAppendixD3Bound) {
+  auto prob = MakeProblem(SkewedSpec());
+  auto p = prob.Params();
+  KernelConfig cfg;
+  cfg.tile_q = 1;
+  cfg.tile_kv = 4;
+  for (int ctas : {2, 4, 16, 64}) {
+    const auto plan = MakeBalancedPlan(p, cfg, ctas, 1 << 30);
+    EXPECT_LE(plan.num_partial_rows, 2LL * ctas * cfg.tile_q)
+        << "ctas=" << ctas;
+  }
+}
+
+TEST(BalancedPlan, ReductionMapBijective) {
+  auto prob = MakeProblem(SkewedSpec());
+  auto p = prob.Params();
+  KernelConfig cfg;
+  cfg.tile_q = 1;
+  cfg.tile_kv = 4;
+  const auto plan = MakeBalancedPlan(p, cfg, 8, 1 << 20);
+
+  // Every partial row appears in exactly one merge task.
+  std::set<int32_t> seen;
+  for (int32_t s : plan.rmap.slots) {
+    EXPECT_TRUE(seen.insert(s).second) << "slot " << s << " referenced twice";
+    EXPECT_LT(s, plan.num_partial_rows);
+  }
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), plan.num_partial_rows);
+
+  // No merge task targets an output also written through.
+  std::set<std::pair<int64_t, int>> merged_outputs;
+  for (const auto& t : plan.rmap.tasks) {
+    EXPECT_TRUE(merged_outputs.insert({t.token_row, t.qo_head}).second);
+  }
+}
+
+TEST(NaivePlan, OneCtaPerUnitNoSplits) {
+  auto prob = MakeProblem(SkewedSpec());
+  auto p = prob.Params();
+  KernelConfig cfg;
+  cfg.tile_q = 1;
+  const auto plan = MakeNaivePlan(p, cfg);
+  EXPECT_EQ(plan.NumWorkItems(), static_cast<int64_t>(EnumerateWorkUnits(p).size()));
+  EXPECT_EQ(plan.NumCtas(), static_cast<int>(plan.NumWorkItems()));
+  EXPECT_TRUE(plan.rmap.Empty());
+}
+
+TEST(FixedSplitPlan, SplitsLongRequests) {
+  auto prob = MakeProblem(SkewedSpec());
+  auto p = prob.Params();
+  KernelConfig cfg;
+  cfg.tile_q = 1;
+  cfg.tile_kv = 4;
+  const auto plan = MakeFixedSplitPlan(p, cfg, 8, 4, 1 << 20);
+  auto cov = Coverage(plan);
+  // The 400-token unit must be in 4 chunks; 3-token units in 1.
+  bool found_long = false;
+  for (const auto& [key, ranges] : cov) {
+    int64_t total = 0;
+    for (auto [lo, hi] : ranges) total += hi - lo;
+    if (total == 400) {
+      EXPECT_EQ(ranges.size(), 4u);
+      found_long = true;
+    }
+    if (total == 3) EXPECT_EQ(ranges.size(), 1u);
+  }
+  EXPECT_TRUE(found_long);
+}
+
+TEST(EnumerateUnits, HeadFusionChangesMultiplicity) {
+  ProblemSpec spec;
+  spec.qo_lens = {2};
+  spec.kv_lens = {8};
+  spec.num_qo_heads = 8;
+  spec.num_kv_heads = 2;
+  spec.tile_q = 16;
+
+  spec.head_fusion = true;
+  auto fused = MakeProblem(spec);
+  auto pf = fused.Params();
+  EXPECT_EQ(EnumerateWorkUnits(pf).size(), 2u * 1);  // kv heads x 1 tile.
+
+  spec.head_fusion = false;
+  auto unfused = MakeProblem(spec);
+  auto pu = unfused.Params();
+  EXPECT_EQ(EnumerateWorkUnits(pu).size(), 8u * 1);  // qo heads x 1 tile.
+}
+
+TEST(BalancedPlan, ZeroLengthKvHandled) {
+  ProblemSpec spec;
+  spec.qo_lens = {1, 1};
+  spec.kv_lens = {0, 6};
+  spec.num_qo_heads = 1;
+  spec.num_kv_heads = 1;
+  spec.tile_q = 1;
+  auto prob = MakeProblem(spec);
+  auto p = prob.Params();
+  KernelConfig cfg;
+  cfg.tile_q = 1;
+  const auto plan = MakeBalancedPlan(p, cfg, 2, 1 << 20);
+  // Both units present; the empty one is a zero-width writethrough item.
+  EXPECT_EQ(plan.NumWorkItems(), 2);
+}
+
+}  // namespace
+}  // namespace flashinfer

@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/microkernel.h"
+#include "test_util.h"
+
+namespace flashinfer {
+namespace {
+
+using test::MakeProblem;
+using test::MaxAbsDiff;
+using test::ProblemSpec;
+using test::RunSerial;
+
+ProblemSpec BaseSpec() {
+  ProblemSpec spec;
+  spec.qo_lens = {4, 2};
+  spec.kv_lens = {25, 9};
+  spec.num_qo_heads = 4;
+  spec.num_kv_heads = 2;
+  spec.head_dim = 16;
+  spec.page_size = 4;
+  spec.tile_q = 4;
+  return spec;
+}
+
+/// Runs `kind` through the tiled kernel and the reference; returns max diff.
+float KernelVsReference(VariantKind kind, VariantParams vp, ProblemSpec spec) {
+  auto prob = MakeProblem(spec);
+  auto p = prob.Params();
+  const float scale = p.variant.sm_scale;
+  p.variant = vp;
+  p.variant.sm_scale = scale;
+  p.variant.num_qo_heads = spec.num_qo_heads;
+  KernelConfig cfg;
+  cfg.tile_q = spec.tile_q;
+  cfg.tile_kv = 8;
+  RunSerial(p, cfg, GetBuiltinKernel(kind, spec.kv_dtype));
+  auto ref_o = RaggedTensor::Zeros(prob.qo_indptr, prob.q.inner);
+  ReferenceAttentionKind(kind, p, &ref_o);
+  return MaxAbsDiff(prob.o.data, ref_o.data);
+}
+
+class VariantSweep : public ::testing::TestWithParam<VariantKind> {};
+
+TEST_P(VariantSweep, TiledKernelMatchesReference) {
+  VariantParams vp;
+  vp.causal = true;
+  vp.logits_soft_cap = 30.0f;
+  vp.window_left = 8;
+  vp.num_sink_tokens = 2;
+  vp.sigmoid_scale = 1.0f;
+  vp.sigmoid_bias = -1.0f;
+  EXPECT_LT(KernelVsReference(GetParam(), vp, BaseSpec()), 2e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, VariantSweep,
+                         ::testing::Values(VariantKind::kVanilla, VariantKind::kSoftCap,
+                                           VariantKind::kAlibi, VariantKind::kSlidingWindow,
+                                           VariantKind::kStreamingLlm, VariantKind::kSigmoid,
+                                           VariantKind::kFusedRope),
+                         [](const auto& info) {
+                           return std::string(VariantKindName(info.param));
+                         });
+
+// ----------------------------------------------------------------- masking
+TEST(Masking, CausalBlocksFuture) {
+  VariantParams p;
+  p.causal = true;
+  LogitsCtx ctx;
+  ctx.q_pos = 5;
+  ctx.kv_pos = 6;
+  EXPECT_FALSE(DefaultMask(p, ctx));
+  ctx.kv_pos = 5;
+  EXPECT_TRUE(DefaultMask(p, ctx));
+  ctx.kv_pos = 0;
+  EXPECT_TRUE(DefaultMask(p, ctx));
+}
+
+TEST(Masking, SlidingWindowKeepsRecent) {
+  VariantParams p;
+  p.causal = true;
+  p.window_left = 4;
+  LogitsCtx ctx;
+  ctx.q_pos = 100;
+  ctx.kv_pos = 95;  // Outside window (100-4=96), not a sink.
+  EXPECT_FALSE(DefaultMask(p, ctx));
+  ctx.kv_pos = 96;
+  EXPECT_TRUE(DefaultMask(p, ctx));
+  ctx.kv_pos = 100;
+  EXPECT_TRUE(DefaultMask(p, ctx));
+}
+
+TEST(Masking, StreamingLlmSinksAlwaysVisible) {
+  VariantParams p;
+  p.causal = true;
+  p.window_left = 4;
+  p.num_sink_tokens = 2;
+  LogitsCtx ctx;
+  ctx.q_pos = 100;
+  ctx.kv_pos = 0;
+  EXPECT_TRUE(DefaultMask(p, ctx));  // Sink token.
+  ctx.kv_pos = 1;
+  EXPECT_TRUE(DefaultMask(p, ctx));
+  ctx.kv_pos = 2;  // Past sinks, outside window.
+  EXPECT_FALSE(DefaultMask(p, ctx));
+}
+
+// ----------------------------------------------------------------- soft cap
+TEST(SoftCap, LogitsBoundedByCap) {
+  SoftCapVariant v;
+  VariantParams p;
+  p.sm_scale = 1.0f;
+  p.logits_soft_cap = 10.0f;
+  LogitsCtx ctx;
+  // tanh saturates to exactly 1.0f in float for huge inputs: bounded by cap.
+  EXPECT_LE(v.LogitsTransform(p, 1000.0f, ctx), 10.0f);
+  EXPECT_GE(v.LogitsTransform(p, -1000.0f, ctx), -10.0f);
+  // Moderate logits stay strictly inside the cap.
+  EXPECT_LT(v.LogitsTransform(p, 30.0f, ctx), 10.0f);
+  EXPECT_GT(v.LogitsTransform(p, -30.0f, ctx), -10.0f);
+  // Small logits pass nearly unchanged.
+  EXPECT_NEAR(v.LogitsTransform(p, 0.5f, ctx), 0.5f, 1e-3f);
+}
+
+// -------------------------------------------------------------------- alibi
+TEST(Alibi, SlopeFormula) {
+  // Standard ALiBi: slope(h) = 2^(-8(h+1)/H).
+  EXPECT_FLOAT_EQ(AlibiVariant::Slope(0, 8), std::exp2(-1.0f));
+  EXPECT_FLOAT_EQ(AlibiVariant::Slope(7, 8), std::exp2(-8.0f));
+}
+
+TEST(Alibi, BiasGrowsWithDistance) {
+  AlibiVariant v;
+  VariantParams p;
+  p.sm_scale = 1.0f;
+  p.num_qo_heads = 4;
+  LogitsCtx near_ctx, far_ctx;
+  near_ctx.q_pos = far_ctx.q_pos = 100;
+  near_ctx.kv_pos = 99;
+  far_ctx.kv_pos = 0;
+  EXPECT_GT(v.LogitsTransform(p, 0.0f, near_ctx), v.LogitsTransform(p, 0.0f, far_ctx));
+}
+
+// ------------------------------------------------------------------ sigmoid
+TEST(Sigmoid, WeightsAreSigmoidOfScore) {
+  SigmoidVariant v;
+  VariantParams p;
+  p.sm_scale = 1.0f;
+  p.sigmoid_scale = 2.0f;
+  p.sigmoid_bias = 0.5f;
+  LogitsCtx ctx;
+  const float w = v.LogitsTransform(p, 0.3f, ctx);
+  EXPECT_NEAR(w, 1.0f / (1.0f + std::exp(-(0.3f * 2.0f + 0.5f))), 1e-6f);
+  EXPECT_GT(w, 0.0f);
+  EXPECT_LT(w, 1.0f);
+}
+
+TEST(Sigmoid, NoSoftmaxNormalization) {
+  // With sigmoid weights, doubling KV roughly doubles output magnitude
+  // (no denominator), unlike softmax attention.
+  ProblemSpec spec = BaseSpec();
+  spec.qo_lens = {1};
+  spec.kv_lens = {8};
+  auto prob8 = MakeProblem(spec);
+  auto p8 = prob8.Params();
+  KernelConfig cfg;
+  cfg.tile_q = 4;
+  RunSerial(p8, cfg, GetBuiltinKernel(VariantKind::kSigmoid, DType::kF32));
+
+  spec.kv_lens = {16};
+  auto prob16 = MakeProblem(spec);  // Same seed: first 8 tokens identical.
+  auto p16 = prob16.Params();
+  RunSerial(p16, cfg, GetBuiltinKernel(VariantKind::kSigmoid, DType::kF32));
+
+  double n8 = 0, n16 = 0;
+  for (float x : prob8.o.data) n8 += std::fabs(x);
+  for (float x : prob16.o.data) n16 += std::fabs(x);
+  EXPECT_GT(n16, n8 * 1.2);  // Accumulates, does not renormalize.
+}
+
+// --------------------------------------------------------------- fused RoPE
+TEST(FusedRope, EquivalentToPreRotatedCache) {
+  // Build one problem with un-roped K in the cache and FusedRope variant;
+  // build a twin whose cache and queries are pre-rotated, using Vanilla.
+  ProblemSpec spec = BaseSpec();
+  spec.num_qo_heads = 2;
+  spec.num_kv_heads = 2;
+  auto fused = MakeProblem(spec);
+  auto twin = MakeProblem(spec);  // Identical data (same seed).
+
+  // Pre-rotate the twin's queries and cache in place.
+  VariantParams vp;
+  vp.rope_theta = 10000.0f;
+  for (size_t r = 0; r + 1 < twin.qo_indptr.size(); ++r) {
+    const int64_t qo_len = spec.qo_lens[r];
+    const int64_t kv_len = spec.kv_lens[r];
+    for (int64_t i = 0; i < qo_len; ++i) {
+      const int64_t row = twin.qo_indptr[r] + i;
+      for (int h = 0; h < spec.num_qo_heads; ++h) {
+        ApplyRope(twin.q.Row(row).subspan(static_cast<size_t>(h) * spec.head_dim,
+                                          static_cast<size_t>(spec.head_dim)),
+                  kv_len - qo_len + i, vp.rope_theta);
+      }
+    }
+    // Rotate cached keys by their positions.
+    const auto& pages = twin.kv->SequencePages(twin.seq_ids[r]);
+    for (int64_t t = 0; t < kv_len; ++t) {
+      const int64_t page = pages[static_cast<size_t>(t / spec.page_size)];
+      const int slot = static_cast<int>(t % spec.page_size);
+      for (int h = 0; h < spec.num_kv_heads; ++h) {
+        std::vector<float> krow(static_cast<size_t>(spec.head_dim));
+        std::vector<float> vrow(static_cast<size_t>(spec.head_dim));
+        for (int d = 0; d < spec.head_dim; ++d) {
+          krow[static_cast<size_t>(d)] = twin.kv->KAt(page, h, slot, d);
+          vrow[static_cast<size_t>(d)] = twin.kv->VAt(page, h, slot, d);
+        }
+        ApplyRope({krow.data(), krow.size()}, t, vp.rope_theta);
+        // Write back via SetToken per-head is awkward; use full-token write.
+        std::vector<float> kfull(static_cast<size_t>(spec.num_kv_heads) * spec.head_dim);
+        std::vector<float> vfull(kfull.size());
+        for (int hh = 0; hh < spec.num_kv_heads; ++hh) {
+          for (int d = 0; d < spec.head_dim; ++d) {
+            kfull[static_cast<size_t>(hh * spec.head_dim + d)] =
+                (hh == h) ? krow[static_cast<size_t>(d)] : twin.kv->KAt(page, hh, slot, d);
+            vfull[static_cast<size_t>(hh * spec.head_dim + d)] = twin.kv->VAt(page, hh, slot, d);
+          }
+        }
+        twin.kv->SetToken(page, slot, kfull.data(), vfull.data());
+      }
+    }
+  }
+
+  KernelConfig cfg;
+  cfg.tile_q = spec.tile_q;
+  auto pf = fused.Params();
+  pf.variant.causal = true;
+  pf.variant.rope_theta = vp.rope_theta;
+  RunSerial(pf, cfg, GetBuiltinKernel(VariantKind::kFusedRope, DType::kF32));
+
+  auto pt = twin.Params();
+  pt.variant.causal = true;
+  RunSerial(pt, cfg, GetBuiltinKernel(VariantKind::kVanilla, DType::kF32));
+
+  EXPECT_LT(MaxAbsDiff(fused.o.data, twin.o.data), 1e-3f);
+}
+
+TEST(Rope, RotationPreservesNorm) {
+  std::vector<float> v(16);
+  Rng rng(5);
+  for (auto& x : v) x = static_cast<float>(rng.Normal(0.0, 1.0));
+  double n0 = 0;
+  for (float x : v) n0 += x * x;
+  ApplyRope({v.data(), v.size()}, 1234, 10000.0f);
+  double n1 = 0;
+  for (float x : v) n1 += x * x;
+  EXPECT_NEAR(n0, n1, 1e-4);
+}
+
+TEST(Rope, PositionZeroIsIdentity) {
+  std::vector<float> v{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto orig = v;
+  ApplyRope({v.data(), v.size()}, 0, 10000.0f);
+  for (size_t i = 0; i < v.size(); ++i) EXPECT_FLOAT_EQ(v[i], orig[i]);
+}
+
+// ----------------------------------------------- pruned (Quest-style) pages
+TEST(PrunedAttention, MatchesReferenceOverSameSelection) {
+  ProblemSpec spec = BaseSpec();
+  spec.qo_lens = {1};
+  spec.kv_lens = {64};
+  spec.page_size = 8;
+  spec.tile_q = 4;
+  auto prob = MakeProblem(spec);
+  // Select pages 0, 3, 6 only.
+  const auto req_kv = prob.kv->ExportKv(prob.seq_ids[0]);
+  const int g = spec.num_qo_heads / spec.num_kv_heads;
+  const auto pruned =
+      sparse::BuildPrunedBsr({0, 1 * g}, {req_kv}, {{0, 3, 6}}, spec.page_size, spec.tile_q);
+  auto p = prob.Params();
+  p.bsr = &pruned;
+  p.variant.causal = false;  // Decode query attends to selected pages fully.
+  KernelConfig cfg;
+  cfg.tile_q = spec.tile_q;
+  RunSerial(p, cfg, GetBuiltinKernel(VariantKind::kVanilla, DType::kF32));
+  auto ref_o = RaggedTensor::Zeros(prob.qo_indptr, prob.q.inner);
+  ReferenceAttention<VanillaVariant>(p, &ref_o);
+  EXPECT_LT(MaxAbsDiff(prob.o.data, ref_o.data), 1e-4f);
+}
+
+}  // namespace
+}  // namespace flashinfer

@@ -1,0 +1,113 @@
+// Workspace layout invariants (Appendix D.1/D.3).
+#include <gtest/gtest.h>
+
+#include "core/tile_heuristics.h"
+#include "runtime/workspace.h"
+
+namespace flashinfer {
+namespace {
+
+TEST(Workspace, SectionPointersStableAcrossRebind) {
+  Workspace ws(Workspace::EstimateBytes(132, 16, 128));
+  ws.Bind(128);
+  const void* base = ws.Base();
+  float* o = ws.PartialO();
+  float* lse = ws.PartialLse();
+  // Re-binding with the same head_dim must not move anything (CUDA-graph
+  // requirement: captured pointers stay valid across plan() calls).
+  ws.Bind(128);
+  EXPECT_EQ(ws.Base(), base);
+  EXPECT_EQ(ws.PartialO(), o);
+  EXPECT_EQ(ws.PartialLse(), lse);
+}
+
+TEST(Workspace, CapacityScalesWithCtasAndTile) {
+  const int64_t small = Workspace::EstimateBytes(132, 1, 128);
+  const int64_t big = Workspace::EstimateBytes(132, 128, 128);
+  EXPECT_GT(big, small);
+  Workspace ws(big);
+  ws.Bind(128);
+  EXPECT_GE(ws.MaxPartialRows(), 2 * 132 * 128);
+}
+
+TEST(Workspace, PartialSectionsDoNotOverlap) {
+  Workspace ws(Workspace::EstimateBytes(64, 16, 64));
+  ws.Bind(64);
+  // LSE section starts exactly after max_rows * head_dim floats of O.
+  EXPECT_EQ(ws.PartialLse(), ws.PartialO() + ws.MaxPartialRows() * 64);
+  // Plan region precedes the partial sections.
+  EXPECT_LT(static_cast<const void*>(ws.PlanRegion()),
+            static_cast<const void*>(ws.PartialO()));
+}
+
+TEST(Workspace, RebindWithDifferentHeadDimAdjustsCapacity) {
+  Workspace ws(Workspace::EstimateBytes(64, 16, 256));
+  ws.Bind(64);
+  const int64_t rows64 = ws.MaxPartialRows();
+  ws.Bind(256);
+  EXPECT_LT(ws.MaxPartialRows(), rows64);  // Wider rows, fewer of them.
+}
+
+TEST(TileHeuristics, QueryTileSelection) {
+  EXPECT_EQ(SelectQueryTileSize(0.5), 1);
+  EXPECT_EQ(SelectQueryTileSize(1.0), 1);
+  EXPECT_EQ(SelectQueryTileSize(4.0), 16);
+  EXPECT_EQ(SelectQueryTileSize(17.0), 32);
+  EXPECT_EQ(SelectQueryTileSize(100.0), 128);
+  EXPECT_EQ(SelectQueryTileSize(100000.0), 128);
+}
+
+TEST(TileHeuristics, DecodeFallsBackToFa2OnHopper) {
+  // Short query tiles cannot use WGMMA: Hopper decode runs the FA2 template.
+  const auto dev = gpusim::H100Sxm80GB();
+  const auto decode = SelectKernelConfig(dev, 1.0, 128, 2, true);
+  EXPECT_EQ(decode.tmpl, gpusim::TemplateGen::kFA2);
+  const auto prefill = SelectKernelConfig(dev, 1024.0, 128, 2, true);
+  EXPECT_EQ(prefill.tmpl, gpusim::TemplateGen::kFA3);
+  EXPECT_EQ(prefill.tile_q, 128);
+}
+
+TEST(TileHeuristics, OccupancyDropsWithTileSize) {
+  const auto dev = gpusim::A100Sxm40GB();
+  KernelConfig small;
+  small.tile_q = 1;
+  small.tile_kv = 32;
+  KernelConfig big;
+  big.tile_q = 128;
+  big.tile_kv = 128;
+  EXPECT_GT(OccupancyModel(dev, small, 128, 2).ctas_per_sm,
+            OccupancyModel(dev, big, 128, 2).ctas_per_sm);
+}
+
+TEST(TileHeuristics, SparsePaysEfficiencyPenaltyOnHopper) {
+  const auto dev = gpusim::H100Sxm80GB();
+  KernelConfig cfg;
+  cfg.tile_q = 128;
+  cfg.tile_kv = 64;
+  cfg.tmpl = gpusim::TemplateGen::kFA3;
+  cfg.sparse = false;
+  const auto dense = EfficiencyModel(dev, cfg, 128, 2);
+  cfg.sparse = true;
+  const auto sparse = EfficiencyModel(dev, cfg, 128, 2);
+  EXPECT_GT(dense.compute, sparse.compute);   // ~1.18x (Fig. 12).
+  EXPECT_GT(dense.mem, sparse.mem);           // TMA vs async-copy.
+  EXPECT_LT(dense.compute / sparse.compute, 1.4);
+}
+
+TEST(TileHeuristics, ResidencyModelShapes) {
+  const auto dev = gpusim::H100Sxm80GB();
+  // Grid smaller than the machine: one CTA per SM, slots = #SM.
+  const auto small = ResidencyModel(dev, gpusim::Occupancy{3}, 64);
+  EXPECT_EQ(small.resident, 1);
+  EXPECT_EQ(small.slots, dev.num_sms);
+  // Oversubscribed grid saturates at the occupancy cap.
+  const auto big = ResidencyModel(dev, gpusim::Occupancy{3}, 10000);
+  EXPECT_EQ(big.resident, 3);
+  EXPECT_EQ(big.slots, 3 * dev.num_sms);
+  // Memory derating follows capability, not the grid.
+  EXPECT_DOUBLE_EQ(small.mem_scale, big.mem_scale);
+  EXPECT_LT(ResidencyModel(dev, gpusim::Occupancy{1}, 10000).mem_scale, small.mem_scale);
+}
+
+}  // namespace
+}  // namespace flashinfer
