@@ -1,0 +1,134 @@
+// Cluster routing bench: throughput and tail latency vs. router policy and
+// replica count on a multi-tenant Zipf system-prompt workload.
+//
+// This is the cluster-layer counterpart of the paper's Sec. 4.1 serving
+// experiments: N Llama-3.1-8B replicas (each priced by the real scheduler +
+// kernel cost model) behind a router. Prefix-affinity routing turns the
+// Zipf-shared system prompts into prefill savings (RadixAttention-style KV
+// reuse), which shows up as a higher prefix-hit rate and lower median TTFT
+// at equal offered load; the imbalance cap keeps the hottest tenants from
+// piling onto one replica.
+//
+// Usage: bench_cluster_routing [--quick]
+#include <cstring>
+
+#include "bench_common.h"
+#include "cluster/cluster.h"
+
+using namespace flashinfer;
+using namespace flashinfer::cluster;
+using namespace flashinfer::serving;
+
+namespace {
+
+EngineConfig ReplicaConfig() {
+  EngineConfig cfg;
+  cfg.model = Llama31_8B();
+  cfg.device = gpusim::H100Sxm80GB();
+  cfg.backend = FlashInferBackend();
+  return cfg;
+}
+
+ClusterMetrics RunPolicy(const std::vector<Request>& workload, int replicas,
+                         RouterPolicy policy) {
+  ClusterConfig cfg;
+  cfg.engine = ReplicaConfig();
+  cfg.num_replicas = replicas;
+  cfg.policy = policy;
+  // Half the KV pool is prefix cache; live decode KV owns the rest. (The
+  // default — the whole pool — is only reachable on an idle replica.)
+  cfg.prefix_cache_pages =
+      serving::ServingEngine(cfg.engine).KvTokenBudget() / (2 * cfg.engine.page_size);
+  return ClusterEngine(cfg).Run(workload);
+}
+
+/// Fleet-scale tenant pool: the union of system prompts deliberately exceeds
+/// one replica's prefix-cache capacity, so *where* a request lands decides
+/// whether its tenant is still cached (the PackInfer setting). A small pool
+/// that fits every replica's cache makes all routers look alike.
+TenantPoolConfig FleetPool() {
+  TenantPoolConfig pool;
+  pool.num_tenants = 1024;
+  pool.zipf_s = 1.0;
+  return pool;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const int base_requests = quick ? 60 : 400;
+  const double rate_per_replica = 25.0;  // req/s, latency-sensitive regime.
+
+  bench::Banner("Cluster routing", "multi-replica router with prefix-affinity scheduling");
+  bench::Note("workload: 1024 tenants, Zipf(1.0) popularity, 256-1024-token system");
+  bench::Note("prompts, log-normal user turns/outputs; Llama 3.1 8B per replica.");
+
+  {
+    const int replicas = 4;
+    Rng rng(2026);
+    const auto workload = MultiTenantWorkload(rng, base_requests * replicas,
+                                              rate_per_replica * replicas, FleetPool());
+
+    std::printf("\n--- router policy comparison (%d replicas, %zu requests) ---\n",
+                replicas, workload.size());
+    AsciiTable t({"policy", "throughput (tok/s)", "median TTFT (ms)", "P99 TTFT (ms)",
+                  "median ITL (ms)", "prefix hit %", "imbalance", "fallback %"});
+    ClusterMetrics rr, pa;
+    for (const auto policy : {RouterPolicy::kRoundRobin, RouterPolicy::kLeastLoaded,
+                              RouterPolicy::kPrefixAffinity}) {
+      const auto m = RunPolicy(workload, replicas, policy);
+      if (policy == RouterPolicy::kRoundRobin) rr = m;
+      if (policy == RouterPolicy::kPrefixAffinity) pa = m;
+      const double fallback_pct =
+          m.router.routed > 0
+              ? 100.0 * static_cast<double>(m.router.load_fallbacks) /
+                    static_cast<double>(m.router.routed)
+              : 0.0;
+      t.AddRow({RouterPolicyName(policy), AsciiTable::Num(m.ThroughputTokS(), 0),
+                AsciiTable::Num(Median(m.aggregate.ttft_ms), 1),
+                AsciiTable::Num(m.aggregate.TtftPercentileMs(0.99), 1),
+                AsciiTable::Num(Median(m.aggregate.itl_ms), 2),
+                AsciiTable::Num(100.0 * m.prefix_hit_rate, 1),
+                AsciiTable::Num(m.load_imbalance, 2), AsciiTable::Num(fallback_pct, 1)});
+    }
+    t.Print();
+
+    const double hit_ratio =
+        rr.prefix_hit_rate > 0.0 ? pa.prefix_hit_rate / rr.prefix_hit_rate : 0.0;
+    std::printf("\nPrefixAffinity / RoundRobin prefix-hit rate: %.2fx "
+                "(acceptance: >= 1.20x)\n", hit_ratio);
+    std::printf("PrefixAffinity load imbalance: %.2fx (acceptance: <= 1.50x)\n",
+                pa.load_imbalance);
+    if (hit_ratio < 1.2 || pa.load_imbalance > 1.5) {
+      std::printf("ACCEPTANCE FAILED\n");
+      return 1;
+    }
+  }
+
+  {
+    std::printf("\n--- replica-count sweep (offered load scales with replicas) ---\n");
+    AsciiTable t({"replicas", "policy", "throughput (tok/s)", "P99 TTFT (ms)",
+                  "prefix hit %", "imbalance"});
+    for (const int replicas : {2, 4, 8}) {
+      Rng rng(77);
+      const auto workload = MultiTenantWorkload(rng, base_requests * replicas,
+                                                rate_per_replica * replicas, FleetPool());
+      for (const auto policy : {RouterPolicy::kRoundRobin, RouterPolicy::kPrefixAffinity}) {
+        const auto m = RunPolicy(workload, replicas, policy);
+        t.AddRow({AsciiTable::Num(replicas, 0), RouterPolicyName(policy),
+                  AsciiTable::Num(m.ThroughputTokS(), 0),
+                  AsciiTable::Num(m.aggregate.TtftPercentileMs(0.99), 1),
+                  AsciiTable::Num(100.0 * m.prefix_hit_rate, 1),
+                  AsciiTable::Num(m.load_imbalance, 2)});
+      }
+    }
+    t.Print();
+    bench::Note("\nexpected shape: PrefixAffinity's hit rate grows with replica count");
+    bench::Note("(RoundRobin dilutes each tenant across all replicas; affinity pins it)");
+    bench::Note("and buys lower *median* TTFT via prefill savings; its P99 runs at or");
+    bench::Note("slightly above RoundRobin's — the affinity/imbalance tradeoff the cap");
+    bench::Note("bounds (see src/cluster/router.h).");
+  }
+  return 0;
+}

@@ -1,0 +1,139 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace flashinfer::cluster {
+
+using serving::Request;
+using serving::ServingEngine;
+using serving::ServingMetrics;
+
+struct ClusterEngine::Replica {
+  explicit Replica(const serving::EngineConfig& cfg)
+      : engine(cfg), prefix_cache(cfg.page_size) {}
+
+  ServingEngine engine;
+  RadixTree prefix_cache;  // Router-side mirror keyed by prompt token ids.
+  int64_t next_page = 0;   // Synthetic page ids for the mirror.
+  int64_t requests = 0;
+};
+
+ClusterEngine::ClusterEngine(ClusterConfig cfg) : cfg_(std::move(cfg)) {
+  FI_CHECK_GE(cfg_.num_replicas, 1);
+}
+
+ClusterEngine::~ClusterEngine() = default;
+
+ClusterMetrics ClusterEngine::Run(const std::vector<Request>& workload) {
+  // Full reset: fresh router stats and cold prefix-cache mirrors, so
+  // back-to-back Run() calls on one ClusterEngine are independent.
+  router_ = CreateRouter(cfg_.policy, cfg_.imbalance_cap, cfg_.imbalance_floor_tokens);
+  replicas_.clear();
+  for (int i = 0; i < cfg_.num_replicas; ++i) {
+    replicas_.push_back(std::make_unique<Replica>(cfg_.engine));
+  }
+
+  std::vector<Request> sorted(workload);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Request& a, const Request& b) { return a.arrival_s < b.arrival_s; });
+
+  const int64_t cache_pages =
+      cfg_.prefix_cache_pages > 0
+          ? cfg_.prefix_cache_pages
+          : replicas_.empty() ? 0
+                              : replicas_[0]->engine.KvTokenBudget() / cfg_.engine.page_size;
+
+  int64_t matched_prompt_tokens = 0;
+  int64_t total_prompt_tokens = 0;
+
+  for (const Request& r : sorted) {
+    // Advance every replica to this arrival: each executes the steps it
+    // would have started by now, so the router sees live load.
+    for (auto& rep : replicas_) rep->engine.StepTo(r.arrival_s);
+
+    std::vector<ReplicaView> views;
+    views.reserve(replicas_.size());
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      ReplicaView v;
+      v.replica = static_cast<int>(i);
+      v.queued_tokens = replicas_[i]->engine.QueuedTokens();
+      v.running_tokens = replicas_[i]->engine.RunningTokens();
+      v.prefix_cache = &replicas_[i]->prefix_cache;
+      views.push_back(v);
+    }
+    const int target = router_->Route(r, views);
+    FI_CHECK_GE(target, 0);
+    FI_CHECK_LT(target, static_cast<int>(replicas_.size()));
+    Replica& rep = *replicas_[static_cast<size_t>(target)];
+
+    Request routed = r;
+    if (!routed.prompt_tokens.empty()) {
+      auto match = rep.prefix_cache.MatchPrefix(routed.prompt_tokens);
+      routed.cached_prefix_len = match.matched_tokens;
+      matched_prompt_tokens += match.matched_tokens;
+      total_prompt_tokens += routed.input_len;
+
+      // Mirror the prompt into the replica's cache (synthetic page ids; the
+      // tree only adopts pages beyond the already-cached path).
+      const int64_t full_pages =
+          static_cast<int64_t>(routed.prompt_tokens.size()) / cfg_.engine.page_size;
+      std::vector<int64_t> pages(static_cast<size_t>(full_pages));
+      std::iota(pages.begin(), pages.end(), rep.next_page);
+      rep.next_page += full_pages;
+      rep.prefix_cache.Insert(routed.prompt_tokens, pages);
+      if (cache_pages > 0 && rep.prefix_cache.TotalCachedPages() > cache_pages) {
+        rep.prefix_cache.EvictLru(rep.prefix_cache.TotalCachedPages() - cache_pages);
+      }
+    }
+    rep.engine.Admit(routed);
+    ++rep.requests;
+  }
+
+  for (auto& rep : replicas_) rep->engine.Drain();
+
+  // --- Aggregate ------------------------------------------------------------
+  ClusterMetrics out;
+  out.router = router_->Stats();
+  std::vector<double> work_tokens;
+  for (auto& rep : replicas_) {
+    const ServingMetrics& m = rep->engine.Metrics();
+    out.per_replica.push_back(m);
+    out.replica_requests.push_back(rep->requests);
+    out.makespan_s = std::max(out.makespan_s, m.makespan_s);
+    work_tokens.push_back(
+        static_cast<double>(m.total_prefill_tokens + m.total_output_tokens));
+
+    auto& agg = out.aggregate;
+    agg.ttft_ms.insert(agg.ttft_ms.end(), m.ttft_ms.begin(), m.ttft_ms.end());
+    agg.itl_ms.insert(agg.itl_ms.end(), m.itl_ms.begin(), m.itl_ms.end());
+    agg.total_output_tokens += m.total_output_tokens;
+    agg.total_attention_ms += m.total_attention_ms;
+    agg.total_gemm_ms += m.total_gemm_ms;
+    agg.total_host_ms += m.total_host_ms;
+    agg.total_comm_ms += m.total_comm_ms;
+    agg.num_steps += m.num_steps;
+    agg.total_prefill_tokens += m.total_prefill_tokens;
+    agg.cached_prefix_tokens += m.cached_prefix_tokens;
+  }
+  out.aggregate.makespan_s = out.makespan_s;
+
+  for (const auto& m : out.per_replica) {
+    out.replica_utilization.push_back(
+        out.makespan_s > 0.0 ? m.BusyMs() * 1e-3 / out.makespan_s : 0.0);
+  }
+  const double mean_work =
+      std::accumulate(work_tokens.begin(), work_tokens.end(), 0.0) /
+      static_cast<double>(work_tokens.size());
+  const double max_work = *std::max_element(work_tokens.begin(), work_tokens.end());
+  out.load_imbalance = mean_work > 0.0 ? max_work / mean_work : 1.0;
+  out.prefix_hit_rate =
+      total_prompt_tokens > 0
+          ? static_cast<double>(matched_prompt_tokens) / static_cast<double>(total_prompt_tokens)
+          : 0.0;
+  return out;
+}
+
+}  // namespace flashinfer::cluster

@@ -1,0 +1,84 @@
+// Data-parallel cluster serving simulator: N replica engines behind a router.
+//
+// Each replica is a full ServingEngine (its own KV budget, scheduler, and
+// cost model) plus a router-side RadixTree mirroring the prompt prefixes the
+// replica has served. The driver is event-driven: before every arrival it
+// advances each replica with StepTo(arrival) — replicas execute the steps
+// they would have started by then — so routing decisions observe live
+// queued/running load, exactly like a router polling engine metrics.
+//
+// Prefix-cache modeling: when a routed request's prompt matches the target
+// replica's tree, the matched (page-aligned) tokens are marked cached and
+// its prefill computes only the uncached suffix (Request::cached_prefix_len).
+// The mirror is then updated with the request's full prompt and LRU-evicted
+// down to a per-replica page budget. Matching happens at admission, not at
+// prefill completion — an idealization that slightly favors bursts of
+// identical prefixes (real engines would stall or recompute in that window).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/router.h"
+#include "serving/engine.h"
+
+namespace flashinfer::cluster {
+
+struct ClusterConfig {
+  /// Per-replica engine configuration (every replica is identical).
+  serving::EngineConfig engine;
+  int num_replicas = 4;
+  RouterPolicy policy = RouterPolicy::kRoundRobin;
+  /// PrefixAffinity only: shed to least-loaded when the affinity target's
+  /// load exceeds cap * max(mean load, floor).
+  double imbalance_cap = 1.5;
+  int64_t imbalance_floor_tokens = 2048;
+  /// Per-replica prefix-cache capacity in pages; 0 derives it from the
+  /// replica's KV token budget (the cache can hold what the HBM could).
+  int64_t prefix_cache_pages = 0;
+};
+
+/// Per-replica aggregation of ServingMetrics plus router-level signals.
+struct ClusterMetrics {
+  std::vector<serving::ServingMetrics> per_replica;
+  /// Merged view: concatenated TTFT/ITL samples, summed counters, makespan =
+  /// max over replicas (replicas run concurrently).
+  serving::ServingMetrics aggregate;
+  /// Busy fraction of the cluster makespan, per replica.
+  std::vector<double> replica_utilization;
+  /// Requests routed to each replica.
+  std::vector<int64_t> replica_requests;
+  /// max/mean over replicas of processed tokens (prefill + decode): 1.0 is
+  /// perfectly balanced.
+  double load_imbalance = 1.0;
+  /// Matched prompt tokens / total prompt tokens across routed requests
+  /// (requests without token ids are excluded).
+  double prefix_hit_rate = 0.0;
+  RouterStats router;
+  double makespan_s = 0.0;
+
+  double ThroughputTokS() const {
+    return makespan_s > 0.0
+               ? static_cast<double>(aggregate.total_output_tokens) / makespan_s
+               : 0.0;
+  }
+};
+
+class ClusterEngine {
+ public:
+  explicit ClusterEngine(ClusterConfig cfg);
+  ~ClusterEngine();
+
+  /// Routes and simulates the full workload across all replicas.
+  ClusterMetrics Run(const std::vector<serving::Request>& workload);
+
+ private:
+  struct Replica;
+
+  ClusterConfig cfg_;
+  std::unique_ptr<Router> router_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+};
+
+}  // namespace flashinfer::cluster

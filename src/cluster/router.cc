@@ -1,0 +1,114 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace flashinfer::cluster {
+
+const char* RouterPolicyName(RouterPolicy policy) {
+  switch (policy) {
+    case RouterPolicy::kRoundRobin: return "RoundRobin";
+    case RouterPolicy::kLeastLoaded: return "LeastLoaded";
+    case RouterPolicy::kPrefixAffinity: return "PrefixAffinity";
+  }
+  return "?";
+}
+
+namespace {
+
+int LeastLoadedReplica(const std::vector<ReplicaView>& replicas) {
+  int best = 0;
+  int64_t best_load = std::numeric_limits<int64_t>::max();
+  for (const auto& v : replicas) {
+    if (v.LoadTokens() < best_load) {
+      best_load = v.LoadTokens();
+      best = v.replica;
+    }
+  }
+  return best;
+}
+
+class RoundRobinRouter final : public Router {
+ public:
+  int Route(const serving::Request&, const std::vector<ReplicaView>& replicas) override {
+    ++stats_.routed;
+    return replicas[static_cast<size_t>(next_++ % static_cast<int64_t>(replicas.size()))]
+        .replica;
+  }
+
+ private:
+  int64_t next_ = 0;
+};
+
+class LeastLoadedRouter final : public Router {
+ public:
+  int Route(const serving::Request&, const std::vector<ReplicaView>& replicas) override {
+    ++stats_.routed;
+    return LeastLoadedReplica(replicas);
+  }
+};
+
+class PrefixAffinityRouter final : public Router {
+ public:
+  PrefixAffinityRouter(double imbalance_cap, int64_t floor_tokens)
+      : imbalance_cap_(imbalance_cap), floor_tokens_(floor_tokens) {}
+
+  int Route(const serving::Request& r, const std::vector<ReplicaView>& replicas) override {
+    ++stats_.routed;
+    // Longest cached prefix wins; ties go to the lighter replica.
+    int best = -1;
+    int64_t best_match = 0;
+    int64_t best_load = std::numeric_limits<int64_t>::max();
+    int64_t total_load = 0;
+    for (const auto& v : replicas) {
+      total_load += v.LoadTokens();
+      if (v.prefix_cache == nullptr || r.prompt_tokens.empty()) continue;
+      // Read-only probe: scoring a replica must not refresh its LRU stamps
+      // (only the replica actually routed to gets a real MatchPrefix).
+      const int64_t matched = v.prefix_cache->PeekPrefixTokens(r.prompt_tokens);
+      if (matched > best_match ||
+          (matched == best_match && matched > 0 && v.LoadTokens() < best_load)) {
+        best = v.replica;
+        best_match = matched;
+        best_load = v.LoadTokens();
+      }
+    }
+    if (best < 0) return LeastLoadedReplica(replicas);  // No prefix cached anywhere.
+
+    const double mean_load =
+        static_cast<double>(total_load) / static_cast<double>(replicas.size());
+    const double cap =
+        imbalance_cap_ * std::max(mean_load, static_cast<double>(floor_tokens_));
+    if (static_cast<double>(best_load) > cap) {
+      // Affinity target overloaded: shed to the least-loaded replica (whose
+      // cache the subsequent insert seeds, replicating the hot prefix).
+      ++stats_.load_fallbacks;
+      return LeastLoadedReplica(replicas);
+    }
+    ++stats_.affinity_hits;
+    return best;
+  }
+
+ private:
+  double imbalance_cap_;
+  int64_t floor_tokens_;
+};
+
+}  // namespace
+
+std::unique_ptr<Router> CreateRouter(RouterPolicy policy, double imbalance_cap,
+                                     int64_t imbalance_floor_tokens) {
+  FI_CHECK_GT(imbalance_cap, 0.0);
+  switch (policy) {
+    case RouterPolicy::kRoundRobin: return std::make_unique<RoundRobinRouter>();
+    case RouterPolicy::kLeastLoaded: return std::make_unique<LeastLoadedRouter>();
+    case RouterPolicy::kPrefixAffinity:
+      return std::make_unique<PrefixAffinityRouter>(imbalance_cap, imbalance_floor_tokens);
+  }
+  FI_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace flashinfer::cluster

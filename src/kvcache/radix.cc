@@ -29,6 +29,21 @@ RadixTree::MatchResult RadixTree::MatchPrefix(std::span<const int32_t> tokens) {
   return result;
 }
 
+int64_t RadixTree::PeekPrefixTokens(std::span<const int32_t> tokens) const {
+  const Node* node = &root_;
+  const int64_t full_pages = static_cast<int64_t>(tokens.size()) / page_size_;
+  int64_t matched = 0;
+  for (int64_t p = 0; p < full_pages; ++p) {
+    std::vector<int32_t> chunk(tokens.begin() + p * page_size_,
+                               tokens.begin() + (p + 1) * page_size_);
+    const auto it = node->children.find(chunk);
+    if (it == node->children.end()) break;
+    node = it->second.get();
+    matched += page_size_;
+  }
+  return matched;
+}
+
 int64_t RadixTree::Insert(std::span<const int32_t> tokens, std::span<const int64_t> pages) {
   const int64_t full_pages = static_cast<int64_t>(tokens.size()) / page_size_;
   FI_CHECK_LE(full_pages, static_cast<int64_t>(pages.size()));

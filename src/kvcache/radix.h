@@ -33,6 +33,11 @@ class RadixTree {
   /// the LRU stamp of every node on the path.
   MatchResult MatchPrefix(std::span<const int32_t> tokens);
 
+  /// Length of the longest cached prefix of `tokens` without touching LRU
+  /// stamps — a read-only probe (e.g. a router scoring replicas it may not
+  /// pick must not refresh their caches).
+  int64_t PeekPrefixTokens(std::span<const int32_t> tokens) const;
+
   /// Inserts the page-aligned prefix of `tokens` into the tree, reusing any
   /// existing path; `pages[i]` backs tokens [i*page_size, (i+1)*page_size).
   /// Returns how many of `pages` were newly inserted (the tail); previously

@@ -1,14 +1,25 @@
 #include "serving/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <deque>
-#include <map>
+#include <limits>
 
 #include "util/check.h"
 
 namespace flashinfer::serving {
+
+namespace {
+
+/// Prompt tokens the replica's prefix cache already holds, clamped so every
+/// request prefill computes at least one token (it must emit a first token).
+int64_t CachedTokens(const Request& r) {
+  const int64_t max_cached = std::max<int64_t>(r.input_len - 1, 0);
+  return std::min(std::max<int64_t>(r.cached_prefix_len, 0), max_cached);
+}
+
+}  // namespace
 
 ServingEngine::ServingEngine(EngineConfig cfg) : cfg_(std::move(cfg)) {
   const double hbm_bytes = cfg_.hbm_capacity_gb * 1e9;
@@ -101,139 +112,202 @@ double ServingEngine::AttnStepUs(const std::vector<Branch>& batch,
   return t;
 }
 
-ServingMetrics ServingEngine::Run(const std::vector<Request>& workload) {
-  ServingMetrics metrics;
-  std::deque<Request> pending(workload.begin(), workload.end());
-  std::vector<Branch> running;
-  double now_s = 0.0;
-  int64_t kv_tokens_in_use = 0;
-  int next_group = 0;
+void ServingEngine::Reset() {
+  pending_.clear();
+  running_.clear();
+  group_refs_.clear();
+  metrics_ = ServingMetrics{};
+  now_s_ = 0.0;
+  kv_tokens_in_use_ = 0;
+  next_group_ = 0;
+}
 
-  // TTFT bookkeeping: request id -> arrival.
-  std::map<int, double> arrival;
-  for (const auto& r : workload) arrival[r.id] = r.arrival_s;
-  // Parallel-generation groups: live member count + shared prefix tokens
-  // (the prefix's pages are freed when the last sibling finishes).
-  std::map<int, std::pair<int, int64_t>> group_refs;
+void ServingEngine::Admit(const Request& r) {
+  // Keep the queue sorted by arrival (stable: ties go behind earlier admits),
+  // so the admission loop below never stalls behind a later arrival.
+  auto it = std::upper_bound(
+      pending_.begin(), pending_.end(), r,
+      [](const Request& a, const Request& b) { return a.arrival_s < b.arrival_s; });
+  pending_.insert(it, r);
+}
 
-  while (!pending.empty() || !running.empty()) {
-    // Admit arrived requests within memory and token budget.
-    std::vector<Request> admitted;
-    int64_t prefill_tokens = 0;
-    while (!pending.empty() && pending.front().arrival_s <= now_s &&
-           static_cast<int>(running.size() + admitted.size()) < cfg_.max_running) {
-      const auto& r = pending.front();
-      // Token budget per prefill step; an oversized request still admits
-      // alone (otherwise it would starve forever).
-      if (!admitted.empty() &&
-          prefill_tokens + r.input_len > cfg_.max_prefill_tokens) {
-        break;
-      }
-      const int64_t need = r.input_len + r.parallel_n * 8;  // Prompt + slack.
-      if (kv_tokens_in_use + need > kv_token_budget_) break;
-      kv_tokens_in_use += need;
-      prefill_tokens += r.input_len;
-      admitted.push_back(r);
-      pending.pop_front();
+double ServingEngine::NextEventTime() const noexcept {
+  if (!running_.empty()) return now_s_;
+  if (!pending_.empty()) return std::max(now_s_, pending_.front().arrival_s);
+  return std::numeric_limits<double>::infinity();
+}
+
+int64_t ServingEngine::StepTo(double deadline_s) {
+  int64_t steps = 0;
+  while (!Finished() && NextEventTime() <= deadline_s) {
+    if (!StepOnce()) break;
+    ++steps;
+  }
+  return steps;
+}
+
+void ServingEngine::Drain() { StepTo(std::numeric_limits<double>::infinity()); }
+
+int64_t ServingEngine::QueuedTokens() const noexcept {
+  int64_t total = 0;
+  for (const auto& r : pending_) {
+    total += r.input_len + r.output_len * std::max(1, r.parallel_n);
+  }
+  return total;
+}
+
+int64_t ServingEngine::RunningTokens() const noexcept {
+  int64_t total = 0;
+  for (const auto& b : running_) total += b.remaining;
+  return total;
+}
+
+bool ServingEngine::StepOnce() {
+  if (Finished()) return false;
+
+  // Admit arrived requests within memory and token budget.
+  std::vector<Request> admitted;
+  int64_t prefill_tokens = 0;
+  while (!pending_.empty() && pending_.front().arrival_s <= now_s_ &&
+         static_cast<int>(running_.size() + admitted.size()) < cfg_.max_running) {
+    const auto& r = pending_.front();
+    const int64_t new_tokens = r.input_len - CachedTokens(r);
+    // Token budget per prefill step; an oversized request still admits
+    // alone (otherwise it would starve forever).
+    if (!admitted.empty() &&
+        prefill_tokens + new_tokens > cfg_.max_prefill_tokens) {
+      break;
     }
-
-    if (!admitted.empty()) {
-      // --- Prefill step (runs alone, as in SGLang). ------------------------
-      std::vector<Branch> prefill_batch;
-      std::vector<int64_t> qo_lens;
-      for (const auto& r : admitted) {
-        Branch b;
-        b.request_id = r.id;
-        b.kv_len = r.input_len;
-        prefill_batch.push_back(b);
-        qo_lens.push_back(r.input_len);
-      }
-      const double host_us = cfg_.backend.host_us_per_step +
-                             cfg_.backend.host_us_per_req * admitted.size() +
-                             // Prefill never replays graphs: per-layer launches.
-                             cfg_.model.num_layers * 2.0;
-      const double gemm_us = GemmStepUs(prefill_tokens, /*decode=*/false);
-      const double attn_us = AttnStepUs(prefill_batch, qo_lens, /*decode=*/false);
-      const double comm_us = CommStepUs(prefill_tokens);
-      const double step_s = (host_us + gemm_us + attn_us + comm_us) * 1e-6;
-      now_s += step_s;
-      metrics.total_gemm_ms += gemm_us * 1e-3;
-      metrics.total_attention_ms += attn_us * 1e-3;
-      metrics.total_host_ms += host_us * 1e-3;
-      ++metrics.num_steps;
-
-      // First token of each admitted request is produced by its prefill.
-      for (const auto& r : admitted) {
-        metrics.ttft_ms.push_back((now_s - arrival[r.id]) * 1e3);
-        ++metrics.total_output_tokens;
-        const int group = r.parallel_n > 1 ? next_group++ : -1;
-        if (group >= 0) group_refs[group] = {r.parallel_n, r.input_len};
-        for (int n = 0; n < r.parallel_n; ++n) {
-          Branch b;
-          b.request_id = r.id;
-          b.group = group;
-          b.prefix_len = r.parallel_n > 1 ? r.input_len : 0;
-          b.kv_len = r.input_len + 1;
-          b.remaining = std::max<int64_t>(r.output_len - 1, 0);
-          b.last_emit_s = now_s;
-          running.push_back(b);
-          kv_tokens_in_use += 1;
-        }
-      }
-      continue;
-    }
-
-    if (running.empty()) {
-      // Idle: jump to the next arrival.
-      FI_CHECK(!pending.empty());
-      now_s = std::max(now_s, pending.front().arrival_s);
-      continue;
-    }
-
-    // --- Decode step: one token for every running branch. ------------------
-    std::vector<int64_t> qo_lens(running.size(), 1);
-    const double host_us =
-        cfg_.backend.host_us_per_step + cfg_.backend.host_us_per_req * running.size() +
-        (cfg_.backend.use_cuda_graph ? 10.0 : cfg_.model.num_layers * 2.0);
-    const double gemm_us = GemmStepUs(static_cast<int64_t>(running.size()), /*decode=*/true);
-    const double attn_us = AttnStepUs(running, qo_lens, /*decode=*/true);
-    const double comm_us = CommStepUs(static_cast<int64_t>(running.size()));
-    const double step_s = (host_us + gemm_us + attn_us + comm_us) * 1e-6;
-    now_s += step_s;
-    metrics.total_gemm_ms += gemm_us * 1e-3;
-    metrics.total_attention_ms += attn_us * 1e-3;
-    metrics.total_host_ms += host_us * 1e-3;
-    ++metrics.num_steps;
-
-    std::vector<Branch> still_running;
-    still_running.reserve(running.size());
-    for (auto& b : running) {
-      metrics.itl_ms.push_back((now_s - b.last_emit_s) * 1e3);
-      b.last_emit_s = now_s;
-      b.kv_len += 1;
-      kv_tokens_in_use += 1;
-      ++metrics.total_output_tokens;
-      b.remaining -= 1;
-      if (b.remaining > 0) {
-        still_running.push_back(b);
-      } else if (b.group < 0) {
-        kv_tokens_in_use -= b.kv_len;  // Release the branch's pages.
-      } else {
-        // Grouped branch: release the unique suffix; the shared prefix goes
-        // with the last sibling.
-        kv_tokens_in_use -= b.kv_len - b.prefix_len;
-        auto& [refs, prefix] = group_refs[b.group];
-        if (--refs == 0) {
-          kv_tokens_in_use -= prefix;
-          group_refs.erase(b.group);
-        }
-      }
-    }
-    running = std::move(still_running);
+    const int64_t need = r.input_len + r.parallel_n * 8;  // Prompt + slack.
+    if (kv_tokens_in_use_ + need > kv_token_budget_) break;
+    kv_tokens_in_use_ += need;
+    prefill_tokens += new_tokens;
+    admitted.push_back(r);
+    pending_.pop_front();
   }
 
-  metrics.makespan_s = now_s;
-  return metrics;
+  if (!admitted.empty()) {
+    // --- Prefill step (runs alone, as in SGLang). ------------------------
+    // A prefix-cache hit (Request::cached_prefix_len, set by the cluster
+    // router layer) skips recomputation of the cached prompt tokens: the
+    // attention query covers only the uncached suffix while KV spans the
+    // full prompt — exactly the incremental "append" kernel shape. KV
+    // memory is still charged for the full prompt (this model does not
+    // dedup cached pages across requests).
+    std::vector<Branch> prefill_batch;
+    std::vector<int64_t> qo_lens;
+    for (const auto& r : admitted) {
+      Branch b;
+      b.request_id = r.id;
+      b.kv_len = r.input_len;
+      prefill_batch.push_back(b);
+      qo_lens.push_back(r.input_len - CachedTokens(r));
+    }
+    const double host_us = cfg_.backend.host_us_per_step +
+                           cfg_.backend.host_us_per_req * admitted.size() +
+                           // Prefill never replays graphs: per-layer launches.
+                           cfg_.model.num_layers * 2.0;
+    const double gemm_us = GemmStepUs(prefill_tokens, /*decode=*/false);
+    const double attn_us = AttnStepUs(prefill_batch, qo_lens, /*decode=*/false);
+    const double comm_us = CommStepUs(prefill_tokens);
+    const double step_s = (host_us + gemm_us + attn_us + comm_us) * 1e-6;
+    now_s_ += step_s;
+    metrics_.total_gemm_ms += gemm_us * 1e-3;
+    metrics_.total_attention_ms += attn_us * 1e-3;
+    metrics_.total_host_ms += host_us * 1e-3;
+    metrics_.total_comm_ms += comm_us * 1e-3;
+    ++metrics_.num_steps;
+
+    // First token of each admitted request is produced by its prefill.
+    for (const auto& r : admitted) {
+      metrics_.ttft_ms.push_back((now_s_ - r.arrival_s) * 1e3);
+      ++metrics_.total_output_tokens;
+      metrics_.total_prefill_tokens += r.input_len - CachedTokens(r);
+      metrics_.cached_prefix_tokens += CachedTokens(r);
+      const int group = r.parallel_n > 1 ? next_group_++ : -1;
+      if (group >= 0) group_refs_[group] = {r.parallel_n, r.input_len};
+      for (int n = 0; n < r.parallel_n; ++n) {
+        Branch b;
+        b.request_id = r.id;
+        b.group = group;
+        b.prefix_len = r.parallel_n > 1 ? r.input_len : 0;
+        b.kv_len = r.input_len + 1;
+        b.remaining = std::max<int64_t>(r.output_len - 1, 0);
+        b.last_emit_s = now_s_;
+        running_.push_back(b);
+        kv_tokens_in_use_ += 1;
+      }
+    }
+    metrics_.makespan_s = now_s_;
+    return true;
+  }
+
+  if (running_.empty()) {
+    // Idle: jump to the next arrival. If the head request has already
+    // arrived, admission failed with an empty engine — its KV need alone
+    // exceeds the budget and no amount of time helps; fail loudly instead
+    // of spinning.
+    FI_CHECK(!pending_.empty());
+    FI_CHECK_GT(pending_.front().arrival_s, now_s_);
+    now_s_ = std::max(now_s_, pending_.front().arrival_s);
+    metrics_.makespan_s = std::max(metrics_.makespan_s, now_s_);
+    return true;
+  }
+
+  // --- Decode step: one token for every running branch. ------------------
+  std::vector<int64_t> qo_lens(running_.size(), 1);
+  const double host_us =
+      cfg_.backend.host_us_per_step + cfg_.backend.host_us_per_req * running_.size() +
+      (cfg_.backend.use_cuda_graph ? 10.0 : cfg_.model.num_layers * 2.0);
+  const double gemm_us =
+      GemmStepUs(static_cast<int64_t>(running_.size()), /*decode=*/true);
+  const double attn_us = AttnStepUs(running_, qo_lens, /*decode=*/true);
+  const double comm_us = CommStepUs(static_cast<int64_t>(running_.size()));
+  const double step_s = (host_us + gemm_us + attn_us + comm_us) * 1e-6;
+  now_s_ += step_s;
+  metrics_.total_gemm_ms += gemm_us * 1e-3;
+  metrics_.total_attention_ms += attn_us * 1e-3;
+  metrics_.total_host_ms += host_us * 1e-3;
+  metrics_.total_comm_ms += comm_us * 1e-3;
+  ++metrics_.num_steps;
+
+  std::vector<Branch> still_running;
+  still_running.reserve(running_.size());
+  for (auto& b : running_) {
+    metrics_.itl_ms.push_back((now_s_ - b.last_emit_s) * 1e3);
+    b.last_emit_s = now_s_;
+    b.kv_len += 1;
+    kv_tokens_in_use_ += 1;
+    ++metrics_.total_output_tokens;
+    b.remaining -= 1;
+    if (b.remaining > 0) {
+      still_running.push_back(b);
+    } else if (b.group < 0) {
+      // Release the branch's pages plus its 8-token admission slack (charged
+      // as parallel_n * 8 at admission; leaking it would shrink effective
+      // capacity forever and can wedge admission on long-lived engines).
+      kv_tokens_in_use_ -= b.kv_len + 8;
+    } else {
+      // Grouped branch: release the unique suffix; the shared prefix goes
+      // with the last sibling.
+      kv_tokens_in_use_ -= b.kv_len - b.prefix_len + 8;
+      auto& [refs, prefix] = group_refs_[b.group];
+      if (--refs == 0) {
+        kv_tokens_in_use_ -= prefix;
+        group_refs_.erase(b.group);
+      }
+    }
+  }
+  running_ = std::move(still_running);
+  metrics_.makespan_s = now_s_;
+  return true;
+}
+
+ServingMetrics ServingEngine::Run(const std::vector<Request>& workload) {
+  Reset();
+  for (const auto& r : workload) Admit(r);
+  Drain();
+  return metrics_;
 }
 
 }  // namespace flashinfer::serving

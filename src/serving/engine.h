@@ -10,9 +10,20 @@
 // (the OpenAI "n" parameter, Sec. 4.4) forks n branches sharing the prompt
 // KV through the paged cache; composable backends decode those groups with
 // the two-level shared-prefix format.
+//
+// The engine is *steppable*: a cluster driver (src/cluster/) owns N replicas
+// and interleaves event-driven time across them with Admit()/StepTo(), so
+// routing decisions can observe each replica's live load. Run() remains a
+// thin Reset+Admit+Drain wrapper, step-for-step identical on arrival-sorted
+// workloads (every in-repo generator). One deliberate difference: Admit()
+// keeps the queue sorted by arrival, so an unsorted workload is admitted in
+// arrival order instead of head-of-line blocking behind a late first entry
+// as the old monolithic loop did.
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <vector>
 
 #include "serving/backends.h"
@@ -41,8 +52,56 @@ class ServingEngine {
  public:
   explicit ServingEngine(EngineConfig cfg);
 
-  /// Simulates the full workload and returns latency metrics.
+  /// Simulates the full workload and returns latency metrics. Equivalent to
+  /// Reset() + Admit() for every request + Drain().
   ServingMetrics Run(const std::vector<Request>& workload);
+
+  // --- Incremental (steppable) API -----------------------------------------
+  //
+  // A step is atomic: once started it runs to completion even if it crosses
+  // the caller's deadline, exactly like a launched GPU iteration that a
+  // router cannot preempt.
+
+  /// Clears all queues, clocks, and accumulated metrics.
+  void Reset();
+
+  /// Enqueues a request. `r.arrival_s` is honored: the request is not
+  /// admitted into a batch before its arrival time. Requests may be admitted
+  /// in any order; the queue is kept sorted by arrival.
+  void Admit(const Request& r);
+
+  /// Simulated time at which the next step would start: the current clock if
+  /// work is runnable, the earliest pending arrival if the engine is idle,
+  /// +infinity when fully drained.
+  double NextEventTime() const noexcept;
+
+  /// Executes every step whose start time is <= `deadline_s`; returns the
+  /// number of steps executed (admission+prefill, decode, or idle skip each
+  /// count as one).
+  int64_t StepTo(double deadline_s);
+
+  /// Runs until all admitted work has completed.
+  void Drain();
+
+  /// True when no pending or running work remains.
+  bool Finished() const noexcept { return pending_.empty() && running_.empty(); }
+
+  /// Metrics accumulated since the last Reset().
+  const ServingMetrics& Metrics() const noexcept { return metrics_; }
+
+  /// Current simulated time, seconds.
+  double Now() const noexcept { return now_s_; }
+
+  // --- Load introspection (router signals) ---------------------------------
+
+  /// Total prompt+output tokens of requests admitted but not yet prefilled.
+  int64_t QueuedTokens() const noexcept;
+
+  /// Output tokens still to be decoded by running branches.
+  int64_t RunningTokens() const noexcept;
+
+  /// KV tokens currently charged against the budget.
+  int64_t KvTokensInUse() const noexcept { return kv_tokens_in_use_; }
 
   /// KV token capacity implied by the memory budget.
   int64_t KvTokenBudget() const noexcept { return kv_token_budget_; }
@@ -57,6 +116,10 @@ class ServingEngine {
     double last_emit_s = 0.0;
   };
 
+  /// Executes one engine iteration (admission+prefill, decode, or idle skip).
+  /// Returns false when there is nothing left to do.
+  bool StepOnce();
+
   double GemmStepUs(int64_t tokens, bool decode) const;
   double CommStepUs(int64_t tokens) const;
   double AttnStepUs(const std::vector<Branch>& batch, const std::vector<int64_t>& qo_lens,
@@ -64,6 +127,15 @@ class ServingEngine {
 
   EngineConfig cfg_;
   int64_t kv_token_budget_ = 0;
+
+  // Steppable state (reset by Reset()).
+  std::deque<Request> pending_;
+  std::vector<Branch> running_;
+  std::map<int, std::pair<int, int64_t>> group_refs_;
+  ServingMetrics metrics_;
+  double now_s_ = 0.0;
+  int64_t kv_tokens_in_use_ = 0;
+  int next_group_ = 0;
 };
 
 }  // namespace flashinfer::serving

@@ -10,7 +10,9 @@ double Percentile(std::vector<double> values, double p) {
   std::sort(values.begin(), values.end());
   const double idx = p * static_cast<double>(values.size() - 1);
   const size_t lo = static_cast<size_t>(std::floor(idx));
-  const size_t hi = static_cast<size_t>(std::ceil(idx));
+  // Clamp: for p = 1.0, floating-point rounding in `idx` can push ceil() one
+  // past the last order statistic.
+  const size_t hi = std::min(static_cast<size_t>(std::ceil(idx)), values.size() - 1);
   const double frac = idx - static_cast<double>(lo);
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }

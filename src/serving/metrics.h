@@ -21,13 +21,26 @@ struct ServingMetrics {
   double total_attention_ms = 0.0;   // Attention kernel time summed.
   double total_gemm_ms = 0.0;
   double total_host_ms = 0.0;
+  double total_comm_ms = 0.0;        // Tensor-parallel all-reduce time.
   int64_t num_steps = 0;
+  /// Prompt tokens actually computed in prefill steps (prefix-cache misses).
+  int64_t total_prefill_tokens = 0;
+  /// Prompt tokens skipped because the replica's prefix cache held them.
+  int64_t cached_prefix_tokens = 0;
 
   double MedianTtftMs() const { return Median(ttft_ms); }
   double MedianItlMs() const { return Median(itl_ms); }
   double P99TtftMs() const { return Percentile(ttft_ms, 0.99); }
+  double P99ItlMs() const { return Percentile(itl_ms, 0.99); }
+  /// Arbitrary-percentile helpers (p in [0,1]).
+  double TtftPercentileMs(double p) const { return Percentile(ttft_ms, p); }
+  double ItlPercentileMs(double p) const { return Percentile(itl_ms, p); }
   double ThroughputTokS() const {
     return makespan_s > 0.0 ? static_cast<double>(total_output_tokens) / makespan_s : 0.0;
+  }
+  /// Wall-clock the simulated GPU spent executing steps, milliseconds.
+  double BusyMs() const {
+    return total_attention_ms + total_gemm_ms + total_host_ms + total_comm_ms;
   }
 };
 

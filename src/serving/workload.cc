@@ -54,6 +54,55 @@ std::vector<Request> UniformWorkload(Rng& rng, int num_requests, double request_
   return reqs;
 }
 
+std::vector<Request> MultiTenantWorkload(Rng& rng, int num_requests, double request_rate,
+                                         const TenantPoolConfig& cfg) {
+  FI_CHECK_GE(cfg.num_tenants, 1);
+  FI_CHECK_LE(cfg.prefix_len_lo, cfg.prefix_len_hi);
+
+  // Materialize each tenant's system prompt once. Ids live in disjoint
+  // per-tenant ranges so two tenants can never share a page-aligned prefix.
+  std::vector<std::vector<int32_t>> prompts(static_cast<size_t>(cfg.num_tenants));
+  for (int t = 0; t < cfg.num_tenants; ++t) {
+    const int64_t len = rng.UniformInt(cfg.prefix_len_lo, cfg.prefix_len_hi);
+    auto& p = prompts[static_cast<size_t>(t)];
+    p.reserve(static_cast<size_t>(len));
+    const int32_t base = (t + 1) * 1'000'000;
+    for (int64_t i = 0; i < len; ++i) {
+      p.push_back(base + static_cast<int32_t>(rng.UniformInt(0, 99'999)));
+    }
+  }
+
+  ZipfSampler popularity(cfg.num_tenants, cfg.zipf_s);
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<size_t>(num_requests));
+  double now = 0.0;
+  for (int i = 0; i < num_requests; ++i) {
+    now += rng.Exponential(request_rate);
+    const int tenant = popularity.Sample(rng) - 1;
+    const auto& prefix = prompts[static_cast<size_t>(tenant)];
+    const int64_t user_len =
+        ClippedLogNormal(rng, static_cast<double>(cfg.user_len_mean), 0.8, 4, 512);
+
+    Request r;
+    r.id = i;
+    r.arrival_s = now;
+    r.tenant = tenant;
+    r.prompt_tokens = prefix;
+    r.prompt_tokens.reserve(prefix.size() + static_cast<size_t>(user_len));
+    for (int64_t u = 0; u < user_len; ++u) {
+      // User turns draw from the shared low id range; they are unique per
+      // request with overwhelming probability, which is all prefix matching
+      // needs (a stray collision only matters if a whole page matches).
+      r.prompt_tokens.push_back(static_cast<int32_t>(rng.UniformInt(0, 99'999)));
+    }
+    r.input_len = static_cast<int64_t>(r.prompt_tokens.size());
+    r.output_len =
+        ClippedLogNormal(rng, static_cast<double>(cfg.output_len_mean), 0.9, 4, 1024);
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
 std::vector<int64_t> SampleLengths(Rng& rng, LengthDist dist, int batch, int64_t mean_len) {
   std::vector<int64_t> lens(static_cast<size_t>(batch), 0);
   switch (dist) {

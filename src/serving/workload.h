@@ -7,6 +7,12 @@
 // uniform workload, a Zipf-skewed distribution (Sec. 4.2), and an
 // MT-Bench-like multi-turn workload (Sec. 4.3). Arrivals are Poisson at a
 // configurable request rate.
+//
+// For the cluster subsystem (src/cluster/) requests additionally carry
+// token-id prompts: MultiTenantWorkload() models a serving fleet where each
+// tenant front-loads a fixed system prompt, tenant popularity is
+// Zipf-distributed, and only the user turn differs per request — the setting
+// where prefix-affinity routing pays off (RadixAttention / PackInfer).
 #pragma once
 
 #include <cstdint>
@@ -23,6 +29,15 @@ struct Request {
   int64_t output_len = 0;
   /// OpenAI "n" parameter: parallel generations sharing the prompt (Sec. 4.4).
   int parallel_n = 1;
+  /// Prompt token ids, `input_len` long when present (may be empty: the
+  /// engine itself never inspects ids; the cluster router matches prefixes).
+  std::vector<int32_t> prompt_tokens;
+  /// Prompt tokens already resident in the serving replica's prefix cache
+  /// (set by the cluster layer before Admit); prefill recomputes only the
+  /// remainder.
+  int64_t cached_prefix_len = 0;
+  /// Tenant (system-prompt pool) index, -1 for single-tenant workloads.
+  int tenant = -1;
 };
 
 /// ShareGPT-like conversation lengths: log-normal prompt (~mean 220) and
@@ -33,6 +48,28 @@ std::vector<Request> ShareGptWorkload(Rng& rng, int num_requests, double request
 /// The paper's "Variable" workload: input U(lo, hi), fixed output length.
 std::vector<Request> UniformWorkload(Rng& rng, int num_requests, double request_rate,
                                      int64_t lo, int64_t hi, int64_t output_len = 256);
+
+/// Multi-tenant system-prompt pool for cluster routing experiments.
+struct TenantPoolConfig {
+  /// Number of distinct tenants (each owns one fixed system prompt).
+  int num_tenants = 32;
+  /// Zipf exponent over tenant popularity (rank 1 = most popular).
+  double zipf_s = 1.1;
+  /// System-prompt length drawn once per tenant, uniform in [lo, hi].
+  int64_t prefix_len_lo = 256;
+  int64_t prefix_len_hi = 1024;
+  /// Per-request unique user turn, log-normal with this mean, clip [4, 512].
+  int64_t user_len_mean = 64;
+  /// Response length, log-normal with this mean, clip [4, 1024].
+  int64_t output_len_mean = 128;
+};
+
+/// Requests with real token-id prompts: `tenant prefix + unique user turn`,
+/// tenant picked by Zipf popularity, Poisson arrivals. Token ids are drawn
+/// per tenant from disjoint id ranges so prefixes collide only by sharing a
+/// tenant.
+std::vector<Request> MultiTenantWorkload(Rng& rng, int num_requests, double request_rate,
+                                         const TenantPoolConfig& cfg = {});
 
 /// Batch of sequence lengths (no arrivals) for kernel-level benches:
 /// constant / uniform / Zipf-skewed with a target mean (Sec. 4.2).
