@@ -9,8 +9,9 @@
 // at equal offered load; the imbalance cap keeps the hottest tenants from
 // piling onto one replica.
 //
-// Usage: bench_cluster_routing [--quick]
+// Usage: bench_cluster_routing [--quick] [--json <path>]
 #include <cstring>
+#include <string>
 
 #include "bench_common.h"
 #include "cluster/cluster.h"
@@ -56,9 +57,12 @@ TenantPoolConfig FleetPool() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const bool quick = bench::HasFlag(argc, argv, "--quick");
+  const char* json_path = bench::ArgValue(argc, argv, "--json");
   const int base_requests = quick ? 60 : 400;
   const double rate_per_replica = 25.0;  // req/s, latency-sensitive regime.
+  bench::JsonResult json;
+  json.Add("bench", std::string("cluster_routing"));
 
   bench::Banner("Cluster routing", "multi-replica router with prefix-affinity scheduling");
   bench::Note("workload: 1024 tenants, Zipf(1.0) popularity, 256-1024-token system");
@@ -91,6 +95,13 @@ int main(int argc, char** argv) {
                 AsciiTable::Num(Median(m.aggregate.itl_ms), 2),
                 AsciiTable::Num(100.0 * m.prefix_hit_rate, 1),
                 AsciiTable::Num(m.load_imbalance, 2), AsciiTable::Num(fallback_pct, 1)});
+      const std::string key = RouterPolicyName(policy);
+      json.Add(key + "_tok_s", m.ThroughputTokS());
+      json.Add(key + "_median_ttft_ms", Median(m.aggregate.ttft_ms));
+      json.Add(key + "_p99_ttft_ms", m.aggregate.TtftPercentileMs(0.99));
+      json.Add(key + "_median_itl_ms", Median(m.aggregate.itl_ms));
+      json.Add(key + "_prefix_hit_rate", m.prefix_hit_rate);
+      json.Add(key + "_load_imbalance", m.load_imbalance);
     }
     t.Print();
 
@@ -100,7 +111,12 @@ int main(int argc, char** argv) {
                 "(acceptance: >= 1.20x)\n", hit_ratio);
     std::printf("PrefixAffinity load imbalance: %.2fx (acceptance: <= 1.50x)\n",
                 pa.load_imbalance);
-    if (hit_ratio < 1.2 || pa.load_imbalance > 1.5) {
+    json.Add("gate_hit_ratio", hit_ratio);
+    json.Add("gate_pa_load_imbalance", pa.load_imbalance);
+    const bool ok = hit_ratio >= 1.2 && pa.load_imbalance <= 1.5;
+    json.Add("acceptance_passed", ok ? 1.0 : 0.0);
+    if (!ok) {
+      json.WriteTo(json_path);
       std::printf("ACCEPTANCE FAILED\n");
       return 1;
     }
@@ -121,6 +137,10 @@ int main(int argc, char** argv) {
                   AsciiTable::Num(m.aggregate.TtftPercentileMs(0.99), 1),
                   AsciiTable::Num(100.0 * m.prefix_hit_rate, 1),
                   AsciiTable::Num(m.load_imbalance, 2)});
+        const std::string key = std::string(RouterPolicyName(policy)) + "_r" +
+                                AsciiTable::Num(replicas, 0);
+        json.Add(key + "_tok_s", m.ThroughputTokS());
+        json.Add(key + "_prefix_hit_rate", m.prefix_hit_rate);
       }
     }
     t.Print();
@@ -130,5 +150,6 @@ int main(int argc, char** argv) {
     bench::Note("slightly above RoundRobin's — the affinity/imbalance tradeoff the cap");
     bench::Note("bounds (see src/cluster/router.h).");
   }
+  if (!json.WriteTo(json_path)) return 1;
   return 0;
 }

@@ -9,13 +9,70 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gpusim/device.h"
 #include "util/table.h"
 
 namespace flashinfer::bench {
+
+/// Returns the value following `flag` in argv, or nullptr when absent
+/// (e.g. ArgValue(argc, argv, "--json") -> the output path).
+inline const char* ArgValue(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Minimal machine-readable results sink: a flat ordered JSON object of
+/// numeric (and string) fields, written when a path was given. Every bench
+/// that gates acceptance emits one so the perf trajectory across PRs can be
+/// scraped into BENCH_*.json without parsing ASCII tables.
+class JsonResult {
+ public:
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(key, buf);
+  }
+  void Add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + value + "\"");
+  }
+
+  /// Writes `{ "k": v, ... }`; returns false (with a message) on I/O error.
+  /// No-op returning true when `path` is null.
+  bool WriteTo(const char* path) const {
+    if (path == nullptr) return true;
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write JSON results to %s\n", path);
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %s%s\n", fields_[i].first.c_str(),
+                   fields_[i].second.c_str(), i + 1 < fields_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("JSON results written to %s\n", path);
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 inline void Banner(const char* id, const char* title) {
   std::printf("\n=============================================================\n");

@@ -1,0 +1,185 @@
+// Speculative-decoding bench: tokens/s vs. acceptance rate and draft-tree
+// shape, against the vanilla one-token-per-step decode baseline.
+//
+// Every spec point runs the same ShareGPT-style workload through the serving
+// engine with draft+verify steps: the draft model (Llama-68M class) proposes
+// a token tree per branch, the target (Llama 3.1 8B) verifies all tree
+// tokens in one batched step priced through the REAL tree-attention kernel
+// path (ancestor mask -> BSR -> scheduler -> cost model), and rejected
+// branches roll their KV back through PagedKVCache refcounts. The crossover
+// the sweep shows is the one production speculators live on: high acceptance
+// amortizes the target's weight streaming over several tokens per step
+// (>= 1.3x at 0.8 acceptance, gated below); low acceptance pays the draft +
+// verify overhead for ~1 committed token and loses gracefully.
+//
+// Usage: bench_spec_decode [--quick] [--json <path>]
+#include <cstring>
+#include <string>
+
+#include "bench_common.h"
+#include "serving/engine.h"
+
+using namespace flashinfer;
+using namespace flashinfer::serving;
+
+namespace {
+
+struct Shape {
+  const char* name;
+  int depth;
+  int branching;
+};
+
+EngineConfig TargetConfig() {
+  EngineConfig cfg;
+  cfg.model = Llama31_8B();
+  cfg.device = gpusim::H100Sxm80GB();
+  cfg.backend = FlashInferBackend();
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::HasFlag(argc, argv, "--quick");
+  const char* json_path = bench::ArgValue(argc, argv, "--json");
+  // Small-batch regime: a backlogged batch small enough that even the verify
+  // step's batch * tree tokens stays under the GEMM roofline knee — decode is
+  // weight-streaming-bound, so every extra token a verify step commits is
+  // nearly free. (A Poisson trickle would hide the win behind idle time: when
+  // arrivals are the bottleneck, throughput tracks the arrival rate for any
+  // decoder.)
+  const int num_requests = quick ? 32 : 48;
+  const double rate = 10000.0;  // Everything arrives at once: pure backlog.
+
+  bench::Banner("Speculative decoding",
+                "tree-draft verification through the real attention kernels");
+  bench::Note("Llama 3.1 8B target + 68M draft on H100.");
+  bench::Note("verify = ONE target step over all tree tokens (tree mask -> BSR ->");
+  bench::Note("scheduler -> cost model); vanilla decode = 1 token/branch/step.");
+
+  Rng rng(2026);
+  auto workload = UniformWorkload(rng, num_requests, rate, 64, 512, /*output_len=*/256);
+
+  const auto vanilla = ServingEngine(TargetConfig()).Run(workload);
+  std::printf("\nvanilla decode (batch %d backlog): %.0f tok/s (median ITL %.2f ms,"
+              " %lld steps)\n",
+              num_requests, vanilla.ThroughputTokS(), vanilla.MedianItlMs(),
+              static_cast<long long>(vanilla.num_steps));
+
+  const Shape shapes[] = {
+      {"chain-2", 2, 1}, {"chain-4", 4, 1}, {"chain-6", 6, 1}, {"tree-4x2", 4, 2}};
+  const double accepts[] = {0.2, 0.5, 0.8, 0.95};
+
+  bench::JsonResult json;
+  json.Add("bench", std::string("spec_decode"));
+  json.Add("vanilla_tok_s", vanilla.ThroughputTokS());
+  json.Add("vanilla_median_itl_ms", vanilla.MedianItlMs());
+
+  AsciiTable t({"shape", "accept", "tok/s", "vs vanilla", "tok/verify",
+                "mean accepted", "draft ovh %", "median ITL (ms)"});
+  double chain4_speedup_hi = 0.0, chain4_speedup_lo = 0.0;
+  for (const auto& shape : shapes) {
+    for (const double accept : accepts) {
+      EngineConfig cfg = TargetConfig();
+      cfg.spec.enabled = true;
+      cfg.spec.tree = spec::TreeConfig{shape.depth, shape.branching};
+      cfg.spec.default_accept_prob = accept;
+      const auto m = ServingEngine(cfg).Run(workload);
+      const double speedup = m.ThroughputTokS() / vanilla.ThroughputTokS();
+      if (std::strcmp(shape.name, "chain-4") == 0 && accept == 0.8) {
+        chain4_speedup_hi = speedup;
+      }
+      if (std::strcmp(shape.name, "chain-4") == 0 && accept == 0.2) {
+        chain4_speedup_lo = speedup;
+      }
+      t.AddRow({shape.name, AsciiTable::Num(accept, 2),
+                AsciiTable::Num(m.ThroughputTokS(), 0), AsciiTable::Num(speedup, 2),
+                AsciiTable::Num(m.TokensPerSpecStep(), 2),
+                AsciiTable::Num(m.MeanAcceptedLen(), 2),
+                AsciiTable::Num(100.0 * m.DraftOverheadFrac(), 1),
+                AsciiTable::Num(m.MedianItlMs(), 2)});
+      const std::string key =
+          std::string(shape.name) + "_a" + AsciiTable::Num(accept, 2);
+      json.Add(key + "_tok_s", m.ThroughputTokS());
+      json.Add(key + "_speedup", speedup);
+      json.Add(key + "_tok_per_verify", m.TokensPerSpecStep());
+      json.Add(key + "_draft_overhead", m.DraftOverheadFrac());
+    }
+  }
+  t.Print();
+
+  bench::Note("\nexpected shape: tokens/verify tracks E[accepted]+1; the win grows");
+  bench::Note("with acceptance as each verify step amortizes the target's weight");
+  bench::Note("streaming over more committed tokens. At this small batch even low");
+  bench::Note("acceptance wins slightly: decode is weight-bound, so verifying a");
+  bench::Note("few extra tokens per branch is nearly free — the classic reason");
+  bench::Note("speculation targets the latency regime. Trees beat chains at equal");
+  bench::Note("depth only when extra candidates rescue a level (cf. SpecInfer).");
+
+  // --- Throughput regime: saturated batch, GEMM goes compute-bound. --------
+  // Fixed-length outputs keep several hundred branches resident in lockstep,
+  // so verify steps pay full price for every tree token (batch * tree tokens
+  // is past the roofline knee) while vanilla decode stays near the
+  // weight-streaming floor — the regime where low acceptance LOSES. (The
+  // ShareGPT sweep above never gets there: its log-normal output tail drains
+  // at a small, weight-bound batch where speculation is nearly free.)
+  const double sat_rate = 150.0;
+  const int sat_requests = quick ? 250 : 400;
+  Rng sat_rng(7);
+  auto sat_workload =
+      UniformWorkload(sat_rng, sat_requests, sat_rate, 64, 256, /*output_len=*/128);
+  const auto sat_vanilla = ServingEngine(TargetConfig()).Run(sat_workload);
+  std::printf("\n--- saturated regime (%.0f req/s offered): crossover vs acceptance"
+              " ---\n", sat_rate);
+  std::printf("vanilla decode: %.0f tok/s\n", sat_vanilla.ThroughputTokS());
+  AsciiTable st({"shape", "accept", "tok/s", "vs vanilla", "tok/verify",
+                 "draft ovh %"});
+  double sat_speedup_lo = 0.0, sat_speedup_hi = 0.0;
+  for (const double accept : accepts) {
+    EngineConfig cfg = TargetConfig();
+    cfg.spec.enabled = true;
+    cfg.spec.tree = spec::TreeConfig{4, 1};
+    cfg.spec.default_accept_prob = accept;
+    const auto m = ServingEngine(cfg).Run(sat_workload);
+    const double speedup = m.ThroughputTokS() / sat_vanilla.ThroughputTokS();
+    if (accept == 0.2) sat_speedup_lo = speedup;
+    if (accept == 0.95) sat_speedup_hi = speedup;
+    st.AddRow({"chain-4", AsciiTable::Num(accept, 2),
+               AsciiTable::Num(m.ThroughputTokS(), 0), AsciiTable::Num(speedup, 2),
+               AsciiTable::Num(m.TokensPerSpecStep(), 2),
+               AsciiTable::Num(100.0 * m.DraftOverheadFrac(), 1)});
+    const std::string key = "saturated_chain-4_a" + AsciiTable::Num(accept, 2);
+    json.Add(key + "_tok_s", m.ThroughputTokS());
+    json.Add(key + "_speedup", speedup);
+  }
+  st.Print();
+
+  std::printf("\nchain-4 @ accept 0.80 (small batch): %.2fx vs vanilla"
+              " (acceptance: >= 1.30x)\n",
+              chain4_speedup_hi);
+  std::printf("chain-4 @ accept 0.20 (small batch): %.2fx vs vanilla"
+              " (acceptance: >= 0.90x — speculation is near-free when"
+              " weight-bound)\n",
+              chain4_speedup_lo);
+  std::printf("chain-4 @ accept 0.20 (saturated): %.2fx vs vanilla (acceptance:"
+              " graceful loss, 0.45x..0.98x)\n",
+              sat_speedup_lo);
+  std::printf("chain-4 @ accept 0.95 (saturated): %.2fx vs vanilla (acceptance:"
+              " >= 1.10x — high acceptance survives saturation)\n",
+              sat_speedup_hi);
+  json.Add("gate_chain4_a080_speedup", chain4_speedup_hi);
+  json.Add("gate_chain4_a020_speedup", chain4_speedup_lo);
+  json.Add("gate_saturated_a020_speedup", sat_speedup_lo);
+  json.Add("gate_saturated_a095_speedup", sat_speedup_hi);
+  const bool ok = chain4_speedup_hi >= 1.3 && chain4_speedup_lo >= 0.9 &&
+                  sat_speedup_lo >= 0.45 && sat_speedup_lo < 0.98 &&
+                  sat_speedup_hi >= 1.1;
+  json.Add("acceptance_passed", ok ? 1.0 : 0.0);
+  if (!json.WriteTo(json_path)) return 1;
+  if (!ok) {
+    std::printf("ACCEPTANCE FAILED\n");
+    return 1;
+  }
+  return 0;
+}

@@ -117,6 +117,17 @@ ClusterMetrics ClusterEngine::Run(const std::vector<Request>& workload) {
     agg.num_steps += m.num_steps;
     agg.total_prefill_tokens += m.total_prefill_tokens;
     agg.cached_prefix_tokens += m.cached_prefix_tokens;
+    agg.num_idle_skips += m.num_idle_skips;
+    agg.total_idle_s += m.total_idle_s;
+    agg.spec_steps += m.spec_steps;
+    agg.spec_committed_tokens += m.spec_committed_tokens;
+    agg.total_draft_ms += m.total_draft_ms;
+    if (agg.accepted_len_hist.size() < m.accepted_len_hist.size()) {
+      agg.accepted_len_hist.resize(m.accepted_len_hist.size(), 0);
+    }
+    for (size_t k = 0; k < m.accepted_len_hist.size(); ++k) {
+      agg.accepted_len_hist[k] += m.accepted_len_hist[k];
+    }
   }
   out.aggregate.makespan_s = out.makespan_s;
 

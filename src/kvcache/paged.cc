@@ -62,7 +62,15 @@ void PagedKVCache::AppendTokens(int seq, const float* k, const float* v, int64_t
   FI_CHECK(s.live);
   for (int64_t t = 0; t < count; ++t) {
     const int slot = static_cast<int>(s.length % page_size_);
-    if (slot == 0) s.pages.push_back(AllocPage());
+    if (slot == 0) {
+      s.pages.push_back(AllocPage());
+    } else {
+      // Appending into a partially-filled page requires exclusive ownership:
+      // writing a shared page would corrupt every other holder's KV. Shared
+      // tails come from AdoptPrefix misuse or truncating a fork below its
+      // copy-on-write point — both API-contract violations; fail loudly.
+      FI_CHECK_EQ(ref_[static_cast<size_t>(s.pages.back())], 1);
+    }
     const int64_t page = s.pages.back();
     SetToken(page, slot, k + t * num_kv_heads_ * head_dim_, v + t * num_kv_heads_ * head_dim_);
     ++s.length;
@@ -80,6 +88,64 @@ void PagedKVCache::AdoptPrefix(int seq, const std::vector<int64_t>& pages, int64
   for (int64_t p : pages) RetainPage(p);
   s.pages = pages;
   s.length = token_count;
+}
+
+void PagedKVCache::ExtendSequence(int seq, int64_t count) {
+  auto& s = seqs_.at(static_cast<size_t>(seq));
+  FI_CHECK(s.live);
+  FI_CHECK_GE(count, 0);
+  if (count > 0 && s.length % page_size_ != 0) {
+    // Same exclusivity contract as AppendTokens: growing into a shared
+    // partial page would collide with the other holder's slots.
+    FI_CHECK_EQ(ref_[static_cast<size_t>(s.pages.back())], 1);
+  }
+  for (int64_t t = 0; t < count; ++t) {
+    if (s.length % page_size_ == 0) s.pages.push_back(AllocPage());
+    ++s.length;
+  }
+}
+
+int PagedKVCache::ForkSequence(int seq) {
+  // Read the parent's state up front: CreateSequence() may grow seqs_ and
+  // invalidate references into it.
+  const std::vector<int64_t> parent_pages = seqs_.at(static_cast<size_t>(seq)).pages;
+  const int64_t parent_len = seqs_.at(static_cast<size_t>(seq)).length;
+  FI_CHECK(seqs_.at(static_cast<size_t>(seq)).live);
+
+  const int64_t full_pages = parent_len / page_size_;
+  const int tail_len = static_cast<int>(parent_len % page_size_);
+  const int fork = CreateSequence();
+  auto& f = seqs_.at(static_cast<size_t>(fork));
+  f.pages.reserve(parent_pages.size());
+  for (int64_t p = 0; p < full_pages; ++p) {
+    RetainPage(parent_pages[static_cast<size_t>(p)]);
+    f.pages.push_back(parent_pages[static_cast<size_t>(p)]);
+  }
+  if (tail_len > 0) {
+    // Copy-on-write: both sides append into their own tail page.
+    const int64_t src = parent_pages[static_cast<size_t>(full_pages)];
+    const int64_t dst = AllocPage();
+    const int64_t bytes_per_elem = DTypeBytes(dtype_);
+    std::copy_n(data_.begin() + src * elems_per_page_ * bytes_per_elem,
+                elems_per_page_ * bytes_per_elem,
+                data_.begin() + dst * elems_per_page_ * bytes_per_elem);
+    f.pages.push_back(dst);
+  }
+  f.length = parent_len;
+  return fork;
+}
+
+void PagedKVCache::TruncateSequence(int seq, int64_t new_len) {
+  auto& s = seqs_.at(static_cast<size_t>(seq));
+  FI_CHECK(s.live);
+  FI_CHECK_GE(new_len, 0);
+  FI_CHECK_LE(new_len, s.length);
+  const int64_t keep_pages = (new_len + page_size_ - 1) / page_size_;
+  while (static_cast<int64_t>(s.pages.size()) > keep_pages) {
+    ReleasePage(s.pages.back());
+    s.pages.pop_back();
+  }
+  s.length = new_len;
 }
 
 void PagedKVCache::DropSequence(int seq) {

@@ -51,6 +51,21 @@ class PagedKVCache {
   /// Releases all pages of a sequence and deletes it.
   void DropSequence(int seq);
 
+  // --- Fork / rollback (speculative decoding) -----------------------------
+  /// Appends `count` token slots without writing K/V data (structural use:
+  /// serving simulation tracks page accounting, not values). Allocates pages
+  /// exactly as AppendTokens would.
+  void ExtendSequence(int seq, int64_t count);
+  /// Creates a new sequence sharing `seq`'s committed KV: full pages are
+  /// retained (refcounted aliasing), a partially-filled last page is
+  /// copy-on-write cloned so both sides can append independently. Returns the
+  /// fork's sequence id.
+  int ForkSequence(int seq);
+  /// Rolls a sequence back to `new_len` tokens (<= current length), releasing
+  /// every page past the new end. Rejected speculative branches unwind with
+  /// this; shared pages survive under their other holders' refcounts.
+  void TruncateSequence(int seq, int64_t new_len);
+
   int64_t SequenceLength(int seq) const;
   const std::vector<int64_t>& SequencePages(int seq) const;
   int LastPageLen(int seq) const;

@@ -133,6 +133,31 @@ gpusim::SimReport PricePlan(const gpusim::DeviceSpec& dev, const AttentionParams
   return report;
 }
 
+/// Schedules `p` with the backend's policy and prices the plan, composing
+/// the caller's cross-request L2 reuse fraction with intra-batch tile reuse.
+gpusim::SimReport PlanAndPrice(const gpusim::DeviceSpec& dev, const BackendConfig& backend,
+                               const AttentionParams& p, const KernelConfig& cfg,
+                               double extra_l2_fraction) {
+  const int num_ctas = dev.num_sms;  // Persistent grid, k = 1.
+  Plan plan;
+  switch (backend.scheduler) {
+    case SchedulerKind::kBalanced:
+      plan = MakeBalancedPlan(p, cfg, num_ctas, int64_t{1} << 40);
+      break;
+    case SchedulerKind::kNaive:
+      plan = MakeNaivePlan(p, cfg);
+      break;
+    case SchedulerKind::kFixedSplit:
+      plan = MakeFixedSplitPlan(p, cfg, num_ctas, 4, int64_t{1} << 40);
+      break;
+  }
+  const double auto_l2 = IntraBatchKvReuseFraction(p);
+  const double l2_fraction = 1.0 - (1.0 - extra_l2_fraction) * (1.0 - auto_l2);
+  auto report = PricePlan(dev, p, cfg, plan, backend.kv_dtype, l2_fraction);
+  report.time_us *= backend.kernel_time_scale;
+  return report;
+}
+
 /// Prices one single-format attention launch over (qo_lens, kv_lens).
 gpusim::SimReport PriceSingleFormat(const gpusim::DeviceSpec& dev,
                                     const BackendConfig& backend, const AttnSimInput& in,
@@ -176,29 +201,38 @@ gpusim::SimReport PriceSingleFormat(const gpusim::DeviceSpec& dev,
   p.head_fusion = backend.head_fusion;
   p.variant.causal = in.causal;  // Enables causal work trimming in planning.
 
-  const int num_ctas = dev.num_sms;  // Persistent grid, k = 1.
-  Plan plan;
-  switch (backend.scheduler) {
-    case SchedulerKind::kBalanced:
-      plan = MakeBalancedPlan(p, cfg, num_ctas, int64_t{1} << 40);
-      break;
-    case SchedulerKind::kNaive:
-      plan = MakeNaivePlan(p, cfg);
-      break;
-    case SchedulerKind::kFixedSplit:
-      plan = MakeFixedSplitPlan(p, cfg, num_ctas, 4, int64_t{1} << 40);
-      break;
-  }
-  // Compose the caller's cross-request reuse fraction with intra-batch tile
-  // reuse (prefill tiles re-reading their request's KV hit L2).
-  const double auto_l2 = IntraBatchKvReuseFraction(p);
-  const double l2_fraction = 1.0 - (1.0 - in.kv_l2_fraction) * (1.0 - auto_l2);
-  auto report = PricePlan(dev, p, cfg, plan, backend.kv_dtype, l2_fraction);
-  report.time_us *= backend.kernel_time_scale;
-  return report;
+  return PlanAndPrice(dev, backend, p, cfg, in.kv_l2_fraction);
 }
 
 }  // namespace
+
+gpusim::SimReport SimulateMaskedAttention(const gpusim::DeviceSpec& dev,
+                                          const BackendConfig& backend,
+                                          const AttnSimInput& in,
+                                          const sparse::BsrMatrix& bsr,
+                                          const std::vector<int64_t>& qo_lens,
+                                          const std::vector<int64_t>& kv_lens) {
+  FI_CHECK_EQ(qo_lens.size(), kv_lens.size());
+  // The mask dictates the tile geometry: Br must match how it was lowered.
+  KernelConfig cfg = SelectKernelConfig(dev, /*avg_fused_rows=*/bsr.br, in.head_dim,
+                                        DTypeBytes(backend.kv_dtype), /*sparse=*/true);
+  cfg.head_fusion = backend.head_fusion;
+  cfg.tile_q = bsr.br;
+  if (in.force_template == 2) cfg.tmpl = gpusim::TemplateGen::kFA2;
+  if (in.force_template == 3) cfg.tmpl = gpusim::TemplateGen::kFA3;
+
+  AttentionParams p;
+  p.bsr = &bsr;
+  p.qo_indptr = BuildIndptr(qo_lens);
+  p.kv_len = kv_lens;
+  p.num_qo_heads = in.num_qo_heads;
+  p.num_kv_heads = in.num_kv_heads;
+  p.head_dim = in.head_dim;
+  p.head_fusion = backend.head_fusion;
+  p.variant.causal = false;  // The mask IS the structure; nothing to trim.
+
+  return PlanAndPrice(dev, backend, p, cfg, in.kv_l2_fraction);
+}
 
 gpusim::SimReport SimulateBatchAttention(const gpusim::DeviceSpec& dev,
                                          const BackendConfig& backend,

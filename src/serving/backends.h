@@ -83,4 +83,19 @@ struct AttnSimInput {
 gpusim::SimReport SimulateBatchAttention(const gpusim::DeviceSpec& dev,
                                          const BackendConfig& backend, const AttnSimInput& in);
 
+/// Prices one attention launch over an *explicit* BSR — masks that qo/kv
+/// lengths cannot describe (tree-attention verification for speculative
+/// decoding). The BSR must already live in the fused-row space (rows
+/// expanded by the GQA group size when `backend.head_fusion`) with
+/// `bsr.br` equal to the query tile it was built at; the backend's scheduler
+/// runs over exactly the mask's non-zero blocks (causal trimming is off: the
+/// mask IS the structure). `qo_lens`/`kv_lens` are per-request token rows
+/// and KV extents, used for request attribution and pricing context only.
+gpusim::SimReport SimulateMaskedAttention(const gpusim::DeviceSpec& dev,
+                                          const BackendConfig& backend,
+                                          const AttnSimInput& in,
+                                          const sparse::BsrMatrix& bsr,
+                                          const std::vector<int64_t>& qo_lens,
+                                          const std::vector<int64_t>& kv_lens);
+
 }  // namespace flashinfer::serving

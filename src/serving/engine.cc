@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <limits>
 
+#include "spec/verify.h"
 #include "util/check.h"
 
 namespace flashinfer::serving {
@@ -21,17 +22,26 @@ int64_t CachedTokens(const Request& r) {
 
 }  // namespace
 
-ServingEngine::ServingEngine(EngineConfig cfg) : cfg_(std::move(cfg)) {
+ServingEngine::ServingEngine(EngineConfig cfg)
+    : cfg_(std::move(cfg)), rng_(cfg_.spec.seed) {
   const double hbm_bytes = cfg_.hbm_capacity_gb * 1e9;
   const double weights = cfg_.model.WeightBytesPerGpu();
   const double kv_budget_bytes = (hbm_bytes - weights) * 0.9;  // Activation slack.
   FI_CHECK_GT(kv_budget_bytes, 0.0);
   kv_token_budget_ = static_cast<int64_t>(
       kv_budget_bytes / cfg_.model.KvBytesPerToken(cfg_.backend.kv_dtype));
+  if (cfg_.spec.enabled) {
+    tree_ = std::make_unique<spec::DraftTree>(cfg_.spec.tree);
+    // Reserve one tree of transient verify KV per branch on top of the
+    // decode slack, so a verify step can never blow the budget mid-flight.
+    slack_tokens_ = 8 + tree_->Size();
+    verify_pricer_ = std::make_unique<spec::VerifyPricer>(cfg_.device, cfg_.backend,
+                                                          HeadGeometry(), *tree_);
+  }
+  Reset();
 }
 
-double ServingEngine::GemmStepUs(int64_t tokens, bool decode) const {
-  const auto& m = cfg_.model;
+double ServingEngine::GemmUs(const ModelSpec& m, int64_t tokens) const {
   const auto& dev = cfg_.device;
   const double flops = m.GemmFlopsPerToken() * static_cast<double>(tokens) /
                        m.tensor_parallel;
@@ -39,7 +49,6 @@ double ServingEngine::GemmStepUs(int64_t tokens, bool decode) const {
   // Every step streams the weights once; small-batch decode is bound by it,
   // large prefills by compute.
   const double t_mem = m.WeightBytesPerGpu() / (dev.hbm_gbps * 0.9 * 1e3);
-  (void)decode;
   return std::max(t_compute, t_mem);
 }
 
@@ -54,16 +63,21 @@ double ServingEngine::CommStepUs(int64_t tokens) const {
          cfg_.model.num_layers * 4.0;  // Per-layer collective launch latency.
 }
 
-double ServingEngine::AttnStepUs(const std::vector<Branch>& batch,
-                                 const std::vector<int64_t>& qo_lens, bool decode) const {
-  if (batch.empty()) return 0.0;
+AttnSimInput ServingEngine::HeadGeometry() const {
   AttnSimInput in;
-  in.qo_lens = qo_lens;
   in.num_qo_heads = cfg_.model.num_qo_heads / cfg_.model.tensor_parallel;
   in.num_kv_heads =
       std::max(1, cfg_.model.num_kv_heads / cfg_.model.tensor_parallel);
   in.head_dim = cfg_.model.head_dim;
   in.page_size = cfg_.page_size;
+  return in;
+}
+
+double ServingEngine::AttnStepUs(const std::vector<Branch>& batch,
+                                 const std::vector<int64_t>& qo_lens, bool decode) const {
+  if (batch.empty()) return 0.0;
+  AttnSimInput in = HeadGeometry();
+  in.qo_lens = qo_lens;
   in.kv_lens.reserve(batch.size());
   for (const auto& b : batch) in.kv_lens.push_back(b.kv_len);
 
@@ -112,6 +126,25 @@ double ServingEngine::AttnStepUs(const std::vector<Branch>& batch,
   return t;
 }
 
+double ServingEngine::SpecVerifyAttnUs() const {
+  AttnSimInput in = HeadGeometry();
+  std::vector<int64_t> context_lens;
+  context_lens.reserve(running_.size());
+  for (const auto& b : running_) context_lens.push_back(b.kv_len);
+  auto report = verify_pricer_->Price(context_lens);
+  // Plan reuse across layers, exactly like AttnStepUs.
+  const int layers = cfg_.model.num_layers;
+  double t = report.time_us * layers;
+  if (!cfg_.backend.fused_rope) {
+    const int64_t tokens = static_cast<int64_t>(running_.size()) * tree_->Size();
+    const double bytes = 2.0 * static_cast<double>(tokens) *
+                         (in.num_qo_heads + in.num_kv_heads) * in.head_dim * 2.0;
+    t += layers * (bytes / (cfg_.device.hbm_gbps * 0.45 * 1e3) +
+                   cfg_.device.kernel_launch_us);
+  }
+  return t;
+}
+
 void ServingEngine::Reset() {
   pending_.clear();
   running_.clear();
@@ -120,6 +153,17 @@ void ServingEngine::Reset() {
   now_s_ = 0.0;
   kv_tokens_in_use_ = 0;
   next_group_ = 0;
+  rng_ = Rng(cfg_.spec.seed);
+  if (cfg_.spec.enabled) {
+    metrics_.accepted_len_hist.assign(static_cast<size_t>(tree_->Depth()) + 1, 0);
+    // Structural cache: 1 head x 1 dim (page accounting, not values). Sized
+    // for the token budget plus page-rounding and transient-fork headroom.
+    const int64_t pages =
+        kv_token_budget_ / cfg_.page_size +
+        static_cast<int64_t>(cfg_.max_running) * (2 + cfg_.spec.tree.branching) + 64;
+    spec_kv_ = std::make_unique<PagedKVCache>(DType::kF16, /*num_kv_heads=*/1,
+                                              /*head_dim=*/1, cfg_.page_size, pages);
+  }
 }
 
 void ServingEngine::Admit(const Request& r) {
@@ -138,12 +182,13 @@ double ServingEngine::NextEventTime() const noexcept {
 }
 
 int64_t ServingEngine::StepTo(double deadline_s) {
-  int64_t steps = 0;
+  int64_t work_steps = 0;
   while (!Finished() && NextEventTime() <= deadline_s) {
-    if (!StepOnce()) break;
-    ++steps;
+    const StepKind kind = StepOnce();
+    if (kind == StepKind::kNone) break;
+    if (kind == StepKind::kWork) ++work_steps;
   }
-  return steps;
+  return work_steps;
 }
 
 void ServingEngine::Drain() { StepTo(std::numeric_limits<double>::infinity()); }
@@ -162,8 +207,28 @@ int64_t ServingEngine::RunningTokens() const noexcept {
   return total;
 }
 
-bool ServingEngine::StepOnce() {
-  if (Finished()) return false;
+void ServingEngine::FinishBranch(const Branch& b) {
+  if (b.group < 0) {
+    // Release the branch's pages plus its admission slack (charged as
+    // parallel_n * slack_tokens_ at admission; leaking it would shrink
+    // effective capacity forever and can wedge admission on long-lived
+    // engines).
+    kv_tokens_in_use_ -= b.kv_len + slack_tokens_;
+  } else {
+    // Grouped branch: release the unique suffix; the shared prefix goes
+    // with the last sibling.
+    kv_tokens_in_use_ -= b.kv_len - b.prefix_len + slack_tokens_;
+    auto& [refs, prefix] = group_refs_[b.group];
+    if (--refs == 0) {
+      kv_tokens_in_use_ -= prefix;
+      group_refs_.erase(b.group);
+    }
+  }
+  if (b.spec_seq >= 0) spec_kv_->DropSequence(b.spec_seq);
+}
+
+ServingEngine::StepKind ServingEngine::StepOnce() {
+  if (Finished()) return StepKind::kNone;
 
   // Admit arrived requests within memory and token budget.
   std::vector<Request> admitted;
@@ -178,7 +243,15 @@ bool ServingEngine::StepOnce() {
         prefill_tokens + new_tokens > cfg_.max_prefill_tokens) {
       break;
     }
-    const int64_t need = r.input_len + r.parallel_n * 8;  // Prompt + slack.
+    // Spec decode additionally reserves every branch's full output KV at
+    // admission: verify steps commit several tokens at once with no
+    // per-token budget gate, so the vanilla engine's soft over-commit would
+    // become a hard structural-pool exhaustion mid-run. Reserving up front
+    // trades admission aggressiveness for a guarantee that the fork/rollback
+    // cache can never run out of pages.
+    const int64_t spec_out =
+        cfg_.spec.enabled ? r.parallel_n * std::max<int64_t>(r.output_len, 1) : 0;
+    const int64_t need = r.input_len + r.parallel_n * slack_tokens_ + spec_out;
     if (kv_tokens_in_use_ + need > kv_token_budget_) break;
     kv_tokens_in_use_ += need;
     prefill_tokens += new_tokens;
@@ -207,7 +280,7 @@ bool ServingEngine::StepOnce() {
                            cfg_.backend.host_us_per_req * admitted.size() +
                            // Prefill never replays graphs: per-layer launches.
                            cfg_.model.num_layers * 2.0;
-    const double gemm_us = GemmStepUs(prefill_tokens, /*decode=*/false);
+    const double gemm_us = GemmUs(cfg_.model, prefill_tokens);
     const double attn_us = AttnStepUs(prefill_batch, qo_lens, /*decode=*/false);
     const double comm_us = CommStepUs(prefill_tokens);
     const double step_s = (host_us + gemm_us + attn_us + comm_us) * 1e-6;
@@ -226,6 +299,13 @@ bool ServingEngine::StepOnce() {
       metrics_.cached_prefix_tokens += CachedTokens(r);
       const int group = r.parallel_n > 1 ? next_group_++ : -1;
       if (group >= 0) group_refs_[group] = {r.parallel_n, r.input_len};
+      // Spec decode: materialize the prompt KV structurally; parallel
+      // branches fork it (retained pages) instead of re-owning it.
+      int prefix_seq = -1;
+      if (spec_kv_ && r.parallel_n > 1) {
+        prefix_seq = spec_kv_->CreateSequence();
+        spec_kv_->ExtendSequence(prefix_seq, r.input_len);
+      }
       for (int n = 0; n < r.parallel_n; ++n) {
         Branch b;
         b.request_id = r.id;
@@ -234,12 +314,33 @@ bool ServingEngine::StepOnce() {
         b.kv_len = r.input_len + 1;
         b.remaining = std::max<int64_t>(r.output_len - 1, 0);
         b.last_emit_s = now_s_;
+        if (spec_kv_) {
+          b.accept_prob =
+              r.accept_prob >= 0.0 ? r.accept_prob : cfg_.spec.default_accept_prob;
+          if (prefix_seq >= 0) {
+            b.spec_seq = spec_kv_->ForkSequence(prefix_seq);
+            spec_kv_->ExtendSequence(b.spec_seq, 1);
+          } else {
+            b.spec_seq = spec_kv_->CreateSequence();
+            spec_kv_->ExtendSequence(b.spec_seq, r.input_len + 1);
+          }
+        }
         running_.push_back(b);
-        kv_tokens_in_use_ += 1;
+        // Spec engines charged the whole output at admission; vanilla
+        // charges tokens as they are emitted.
+        if (!cfg_.spec.enabled) kv_tokens_in_use_ += 1;
+        // A zero-remaining branch never reaches a decode step; settle its
+        // charge now (vanilla decode releases via the decode loop, but spec
+        // prefill must not leave its sequence behind).
+        if (b.remaining == 0 && spec_kv_) {
+          FinishBranch(b);
+          running_.pop_back();
+        }
       }
+      if (prefix_seq >= 0) spec_kv_->DropSequence(prefix_seq);
     }
     metrics_.makespan_s = now_s_;
-    return true;
+    return StepKind::kWork;
   }
 
   if (running_.empty()) {
@@ -249,9 +350,17 @@ bool ServingEngine::StepOnce() {
     // of spinning.
     FI_CHECK(!pending_.empty());
     FI_CHECK_GT(pending_.front().arrival_s, now_s_);
-    now_s_ = std::max(now_s_, pending_.front().arrival_s);
+    const double skip_s = pending_.front().arrival_s - now_s_;
+    now_s_ = pending_.front().arrival_s;
+    metrics_.total_idle_s += skip_s;
+    ++metrics_.num_idle_skips;
     metrics_.makespan_s = std::max(metrics_.makespan_s, now_s_);
-    return true;
+    return StepKind::kIdle;
+  }
+
+  if (cfg_.spec.enabled) {
+    SpecDecodeStep();
+    return StepKind::kWork;
   }
 
   // --- Decode step: one token for every running branch. ------------------
@@ -260,7 +369,7 @@ bool ServingEngine::StepOnce() {
       cfg_.backend.host_us_per_step + cfg_.backend.host_us_per_req * running_.size() +
       (cfg_.backend.use_cuda_graph ? 10.0 : cfg_.model.num_layers * 2.0);
   const double gemm_us =
-      GemmStepUs(static_cast<int64_t>(running_.size()), /*decode=*/true);
+      GemmUs(cfg_.model, static_cast<int64_t>(running_.size()));
   const double attn_us = AttnStepUs(running_, qo_lens, /*decode=*/true);
   const double comm_us = CommStepUs(static_cast<int64_t>(running_.size()));
   const double step_s = (host_us + gemm_us + attn_us + comm_us) * 1e-6;
@@ -282,25 +391,120 @@ bool ServingEngine::StepOnce() {
     b.remaining -= 1;
     if (b.remaining > 0) {
       still_running.push_back(b);
-    } else if (b.group < 0) {
-      // Release the branch's pages plus its 8-token admission slack (charged
-      // as parallel_n * 8 at admission; leaking it would shrink effective
-      // capacity forever and can wedge admission on long-lived engines).
-      kv_tokens_in_use_ -= b.kv_len + 8;
     } else {
-      // Grouped branch: release the unique suffix; the shared prefix goes
-      // with the last sibling.
-      kv_tokens_in_use_ -= b.kv_len - b.prefix_len + 8;
-      auto& [refs, prefix] = group_refs_[b.group];
-      if (--refs == 0) {
-        kv_tokens_in_use_ -= prefix;
-        group_refs_.erase(b.group);
-      }
+      FinishBranch(b);
     }
   }
   running_ = std::move(still_running);
   metrics_.makespan_s = now_s_;
-  return true;
+  return StepKind::kWork;
+}
+
+void ServingEngine::SpecDecodeStep() {
+  const spec::DraftTree& tree = *tree_;
+  const int64_t batch = static_cast<int64_t>(running_.size());
+  const int64_t verify_tokens = batch * tree.Size();
+
+  // --- Draft phase: `depth` sequential forward passes of the draft model,
+  // level l proposing branching^l candidates per branch. The draft's own
+  // attention/KV cost is folded into the per-pass launch overhead (the
+  // draft is ~100x smaller than the target).
+  double draft_us = 0.0;
+  for (int level = 1; level <= tree.Depth(); ++level) {
+    draft_us += GemmUs(cfg_.spec.draft_model, batch * tree.LevelWidth(level));
+  }
+  draft_us += tree.Depth() * (cfg_.backend.use_cuda_graph
+                                  ? 10.0
+                                  : cfg_.spec.draft_model.num_layers * 2.0);
+
+  // --- Verify phase: ONE target-model step over every tree token. GEMM
+  // covers batch*tree_size tokens; attention runs the real tree-attention
+  // path (context level + masked tail level + contraction).
+  const double host_us =
+      cfg_.backend.host_us_per_step + cfg_.backend.host_us_per_req * batch +
+      (cfg_.backend.use_cuda_graph ? 10.0 : cfg_.model.num_layers * 2.0);
+  const double gemm_us = GemmUs(cfg_.model, verify_tokens);
+  const double attn_us = SpecVerifyAttnUs();
+  const double comm_us = CommStepUs(verify_tokens);
+  const double step_s = (draft_us + host_us + gemm_us + attn_us + comm_us) * 1e-6;
+  now_s_ += step_s;
+  metrics_.total_draft_ms += draft_us * 1e-3;
+  metrics_.total_gemm_ms += gemm_us * 1e-3;
+  metrics_.total_attention_ms += attn_us * 1e-3;
+  metrics_.total_host_ms += host_us * 1e-3;
+  metrics_.total_comm_ms += comm_us * 1e-3;
+  ++metrics_.num_steps;
+  ++metrics_.spec_steps;
+
+  // --- Accept, commit, roll back. -----------------------------------------
+  std::vector<Branch> still_running;
+  still_running.reserve(running_.size());
+  for (auto& b : running_) {
+    const int accepted = spec::SampleAcceptedLen(rng_, tree, b.accept_prob);
+    ++metrics_.accepted_len_hist[static_cast<size_t>(accepted)];
+    // Accepted draft prefix + the target's bonus/correction token, capped by
+    // the branch's output budget.
+    const int64_t commit = std::min<int64_t>(accepted + 1, b.remaining);
+    SpecCommitKv(b, accepted, commit);
+    // Tokens of one verify step surface together: the first closes the gap
+    // since the last emission, the rest arrive at (simulated) zero ITL —
+    // exactly the burst delivery real spec decoding produces.
+    for (int64_t t = 0; t < commit; ++t) {
+      metrics_.itl_ms.push_back(t == 0 ? (now_s_ - b.last_emit_s) * 1e3 : 0.0);
+    }
+    b.last_emit_s = now_s_;
+    b.kv_len += commit;  // Budget-wise already reserved at admission.
+    metrics_.total_output_tokens += commit;
+    metrics_.spec_committed_tokens += commit;
+    b.remaining -= commit;
+    if (b.remaining > 0) {
+      still_running.push_back(b);
+    } else {
+      FinishBranch(b);
+    }
+  }
+  running_ = std::move(still_running);
+  metrics_.makespan_s = now_s_;
+}
+
+void ServingEngine::SpecCommitKv(Branch& b, int accepted, int64_t commit) {
+  PagedKVCache& kv = *spec_kv_;
+  const spec::DraftTree& tree = *tree_;
+  const int64_t len0 = kv.SequenceLength(b.spec_seq);
+  FI_CHECK_EQ(len0, b.kv_len);
+
+  if (tree.Branching() == 1) {
+    // Chain draft: the speculative tail extends the branch in place; the
+    // rejected suffix rolls back by truncation.
+    kv.ExtendSequence(b.spec_seq, tree.Size());
+    kv.TruncateSequence(b.spec_seq, len0 + std::min<int64_t>(commit, tree.Size()));
+  } else {
+    // Tree draft: each top-level subtree speculates on its own fork of the
+    // committed KV (full pages shared via refcount, partial tail page CoW).
+    // The winning subtree replaces the branch's sequence; every loser — and
+    // the winner's own rejected suffix — unwinds through ReleasePage.
+    std::vector<int> forks(static_cast<size_t>(tree.Branching()));
+    for (auto& f : forks) {
+      f = kv.ForkSequence(b.spec_seq);
+      kv.ExtendSequence(f, tree.SubtreeSize());
+    }
+    if (accepted > 0) {
+      kv.DropSequence(b.spec_seq);
+      // Which subtree won is structurally irrelevant; take the first.
+      b.spec_seq = forks[0];
+      for (size_t j = 1; j < forks.size(); ++j) kv.DropSequence(forks[j]);
+      kv.TruncateSequence(b.spec_seq,
+                          len0 + std::min<int64_t>(commit, tree.SubtreeSize()));
+    } else {
+      for (int f : forks) kv.DropSequence(f);
+    }
+  }
+  // Bonus/correction token (and chain full-acceptance overflow): append the
+  // remainder the rollback could not cover.
+  const int64_t target = len0 + commit;
+  const int64_t have = kv.SequenceLength(b.spec_seq);
+  if (have < target) kv.ExtendSequence(b.spec_seq, target - have);
+  FI_CHECK_EQ(kv.SequenceLength(b.spec_seq), target);
 }
 
 ServingMetrics ServingEngine::Run(const std::vector<Request>& workload) {

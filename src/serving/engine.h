@@ -11,6 +11,14 @@
 // KV through the paged cache; composable backends decode those groups with
 // the two-level shared-prefix format.
 //
+// Speculative decoding (src/spec/): with SpecDecodeConfig enabled, each
+// decode step becomes draft + verify — the draft model proposes a token tree
+// per branch, the target verifies every tree token in one batched step whose
+// attention is priced through the real tree-attention kernel path (ancestor
+// mask -> BsrFromDenseMask -> scheduler -> cost model), accepted prefixes
+// commit, and rejected tree branches roll their KV back through PagedKVCache
+// refcounts.
+//
 // The engine is *steppable*: a cluster driver (src/cluster/) owns N replicas
 // and interleaves event-driven time across them with Admit()/StepTo(), so
 // routing decisions can observe each replica's live load. Run() remains a
@@ -24,12 +32,17 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <vector>
 
+#include "kvcache/paged.h"
 #include "serving/backends.h"
 #include "serving/metrics.h"
 #include "serving/model.h"
 #include "serving/workload.h"
+#include "spec/spec.h"
+#include "spec/verify.h"
+#include "util/rng.h"
 
 namespace flashinfer::serving {
 
@@ -46,6 +59,8 @@ struct EngineConfig {
   int64_t max_prefill_tokens = 8192;
   /// NVLink all-reduce bandwidth per GPU, GB/s (tensor parallel).
   double nvlink_gbps = 450.0;
+  /// Speculative decoding (off by default: vanilla one-token decode steps).
+  spec::SpecDecodeConfig spec;
 };
 
 class ServingEngine {
@@ -76,8 +91,11 @@ class ServingEngine {
   double NextEventTime() const noexcept;
 
   /// Executes every step whose start time is <= `deadline_s`; returns the
-  /// number of steps executed (admission+prefill, decode, or idle skip each
-  /// count as one).
+  /// number of *work* steps executed (admission+prefill, decode, or spec
+  /// verify). Idle skips — jumping the clock to the next arrival — advance
+  /// time but are NOT counted; they are reported via
+  /// ServingMetrics::num_idle_skips / total_idle_s so tokens-per-step
+  /// statistics are not diluted by waiting.
   int64_t StepTo(double deadline_s);
 
   /// Runs until all admitted work has completed.
@@ -100,11 +118,21 @@ class ServingEngine {
   /// Output tokens still to be decoded by running branches.
   int64_t RunningTokens() const noexcept;
 
-  /// KV tokens currently charged against the budget.
+  /// KV tokens currently charged against the budget. Vanilla engines charge
+  /// tokens as they are emitted (and can therefore soft-over-commit); spec
+  /// engines reserve each branch's full output at admission so multi-token
+  /// verify commits can never exhaust the fork/rollback page pool.
   int64_t KvTokensInUse() const noexcept { return kv_tokens_in_use_; }
 
   /// KV token capacity implied by the memory budget.
   int64_t KvTokenBudget() const noexcept { return kv_token_budget_; }
+
+  /// Live pages in the speculative-decoding KV accounting cache (0 when spec
+  /// decode is disabled, and 0 after Drain() when nothing leaked through the
+  /// fork/rollback paths).
+  int64_t SpecKvLivePages() const noexcept {
+    return spec_kv_ ? spec_kv_->num_live_pages() : 0;
+  }
 
  private:
   struct Branch {
@@ -114,19 +142,44 @@ class ServingEngine {
     int64_t kv_len = 0;        // Current KV length (incl. shared prefix).
     int64_t remaining = 0;     // Output tokens still to emit.
     double last_emit_s = 0.0;
+    double accept_prob = 0.0;  // Spec decode: draft acceptance probability.
+    int spec_seq = -1;         // Spec decode: sequence id in spec_kv_.
   };
 
-  /// Executes one engine iteration (admission+prefill, decode, or idle skip).
-  /// Returns false when there is nothing left to do.
-  bool StepOnce();
+  /// What one engine iteration did.
+  enum class StepKind { kNone, kIdle, kWork };
 
-  double GemmStepUs(int64_t tokens, bool decode) const;
+  /// Executes one engine iteration (admission+prefill, decode/spec-verify,
+  /// or idle skip). kNone when there is nothing left to do.
+  StepKind StepOnce();
+
+  /// One speculative decode step: draft tree, verify through the tree
+  /// kernels, sample acceptance, commit + roll back KV.
+  void SpecDecodeStep();
+  /// KV fork/extend/rollback for one branch's verification outcome.
+  void SpecCommitKv(Branch& b, int accepted, int64_t commit);
+  /// Releases a finished branch's KV charge (and its spec sequence).
+  void FinishBranch(const Branch& b);
+
+  /// Roofline GEMM time for one forward pass of `m` over `tokens` rows
+  /// (weight-streaming floor vs compute); used for target, prefill, verify,
+  /// and draft passes alike.
+  double GemmUs(const ModelSpec& m, int64_t tokens) const;
   double CommStepUs(int64_t tokens) const;
   double AttnStepUs(const std::vector<Branch>& batch, const std::vector<int64_t>& qo_lens,
                     bool decode) const;
+  double SpecVerifyAttnUs() const;
+  AttnSimInput HeadGeometry() const;
 
   EngineConfig cfg_;
   int64_t kv_token_budget_ = 0;
+  /// Per-branch admission reserve: decode slack (8) plus, under spec decode,
+  /// one tree of transient verification KV.
+  int64_t slack_tokens_ = 8;
+  std::unique_ptr<spec::DraftTree> tree_;  // Null when spec decode is off.
+  /// Caches the lowered tree-mask BSR and tile choice across verify steps
+  /// (tree shape and head geometry never change after construction).
+  std::unique_ptr<spec::VerifyPricer> verify_pricer_;
 
   // Steppable state (reset by Reset()).
   std::deque<Request> pending_;
@@ -136,6 +189,11 @@ class ServingEngine {
   double now_s_ = 0.0;
   int64_t kv_tokens_in_use_ = 0;
   int next_group_ = 0;
+  Rng rng_;  // Acceptance sampling; reseeded by Reset().
+  /// Structural paged KV (1 head x 1 dim: page accounting, not values) that
+  /// the spec path forks/extends/truncates so rollback exercises the real
+  /// refcount machinery. Null when spec decode is off.
+  std::unique_ptr<PagedKVCache> spec_kv_;
 };
 
 }  // namespace flashinfer::serving

@@ -2,6 +2,7 @@
 // ITL (inter-token latency), reported as medians/percentiles like the paper.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -28,6 +29,23 @@ struct ServingMetrics {
   /// Prompt tokens skipped because the replica's prefix cache held them.
   int64_t cached_prefix_tokens = 0;
 
+  // --- Idle accounting (StepTo returns executed work steps only). ----------
+  /// Idle skips: the engine had nothing runnable and jumped to an arrival.
+  int64_t num_idle_skips = 0;
+  /// Simulated seconds spent idle (no running work, waiting on arrivals).
+  double total_idle_s = 0.0;
+
+  // --- Speculative decoding (populated when spec decode is enabled). -------
+  /// Verify steps executed (each replaces one vanilla decode step).
+  int64_t spec_steps = 0;
+  /// Tokens committed by verify steps (accepted draft + bonus tokens).
+  int64_t spec_committed_tokens = 0;
+  /// Histogram over accepted draft-prefix lengths: index k counts branch
+  /// verifications that accepted exactly k draft tokens (size depth+1).
+  std::vector<int64_t> accepted_len_hist;
+  /// Draft-model time (GEMM + per-pass host), milliseconds.
+  double total_draft_ms = 0.0;
+
   double MedianTtftMs() const { return Median(ttft_ms); }
   double MedianItlMs() const { return Median(itl_ms); }
   double P99TtftMs() const { return Percentile(ttft_ms, 0.99); }
@@ -40,7 +58,36 @@ struct ServingMetrics {
   }
   /// Wall-clock the simulated GPU spent executing steps, milliseconds.
   double BusyMs() const {
-    return total_attention_ms + total_gemm_ms + total_host_ms + total_comm_ms;
+    return total_attention_ms + total_gemm_ms + total_host_ms + total_comm_ms +
+           total_draft_ms;
+  }
+
+  // --- Speculative-decoding derived metrics --------------------------------
+  /// Output tokens committed per branch verification (accepted + bonus; a
+  /// vanilla decode step commits exactly 1.0 per branch by construction, so
+  /// this is the per-step speedup knob spec decoding turns).
+  double TokensPerSpecStep() const {
+    int64_t verifications = 0;
+    for (int64_t c : accepted_len_hist) verifications += c;
+    return verifications > 0 ? static_cast<double>(spec_committed_tokens) /
+                                   static_cast<double>(verifications)
+                             : 0.0;
+  }
+  /// Mean accepted draft-prefix length over all branch verifications.
+  double MeanAcceptedLen() const {
+    int64_t verifications = 0, accepted = 0;
+    for (std::size_t k = 0; k < accepted_len_hist.size(); ++k) {
+      verifications += accepted_len_hist[k];
+      accepted += static_cast<int64_t>(k) * accepted_len_hist[k];
+    }
+    return verifications > 0
+               ? static_cast<double>(accepted) / static_cast<double>(verifications)
+               : 0.0;
+  }
+  /// Fraction of busy time spent drafting (the overhead spec decode pays).
+  double DraftOverheadFrac() const {
+    const double busy = BusyMs();
+    return busy > 0.0 ? total_draft_ms / busy : 0.0;
   }
 };
 

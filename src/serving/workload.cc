@@ -103,6 +103,13 @@ std::vector<Request> MultiTenantWorkload(Rng& rng, int num_requests, double requ
   return reqs;
 }
 
+void AssignAcceptance(Rng& rng, std::vector<Request>& workload, double lo, double hi) {
+  FI_CHECK_LE(lo, hi);
+  for (auto& r : workload) {
+    r.accept_prob = lo == hi ? lo : rng.Uniform(lo, hi);
+  }
+}
+
 std::vector<int64_t> SampleLengths(Rng& rng, LengthDist dist, int batch, int64_t mean_len) {
   std::vector<int64_t> lens(static_cast<size_t>(batch), 0);
   switch (dist) {

@@ -38,6 +38,10 @@ struct Request {
   int64_t cached_prefix_len = 0;
   /// Tenant (system-prompt pool) index, -1 for single-tenant workloads.
   int tenant = -1;
+  /// Per-request draft acceptance probability for speculative decoding
+  /// (how predictable this request's continuation is to the draft model);
+  /// < 0 means "use SpecDecodeConfig::default_accept_prob".
+  double accept_prob = -1.0;
 };
 
 /// ShareGPT-like conversation lengths: log-normal prompt (~mean 220) and
@@ -70,6 +74,12 @@ struct TenantPoolConfig {
 /// tenant.
 std::vector<Request> MultiTenantWorkload(Rng& rng, int num_requests, double request_rate,
                                          const TenantPoolConfig& cfg = {});
+
+/// Assigns every request a draft-acceptance probability drawn uniformly from
+/// [lo, hi] — the per-request acceptance model for speculative decoding
+/// (some requests are boilerplate the draft nails, some are not). Pass
+/// lo == hi for a homogeneous sweep point.
+void AssignAcceptance(Rng& rng, std::vector<Request>& workload, double lo, double hi);
 
 /// Batch of sequence lengths (no arrivals) for kernel-level benches:
 /// constant / uniform / Zipf-skewed with a target mean (Sec. 4.2).

@@ -1,0 +1,39 @@
+// Speculative-decoding configuration for the serving engine.
+//
+// A spec-enabled engine replaces each decode step with: (1) a draft phase —
+// `depth` sequential forward passes of the small draft model, proposing a
+// token tree per running branch; (2) a verify phase — ONE target-model step
+// over every tree token, priced through the real tree-attention kernel path
+// (spec/verify.h); (3) commit — per branch, the accepted prefix length is
+// sampled from the request's acceptance model, accepted tokens + the
+// target's bonus token are committed, and rejected branches' KV unwinds
+// through PagedKVCache refcounts (fork/truncate/drop).
+#pragma once
+
+#include "serving/model.h"
+#include "spec/tree.h"
+
+namespace flashinfer::spec {
+
+struct SpecDecodeConfig {
+  bool enabled = false;
+  TreeConfig tree;
+  /// Draft model (GEMM roofline only; its KV/attention cost is folded into
+  /// the per-pass host overhead — the draft is orders of magnitude smaller
+  /// than the target, so its attention time is noise at these scales).
+  serving::ModelSpec draft_model;
+  /// Acceptance probability for requests that don't carry their own
+  /// (Request::accept_prob < 0).
+  double default_accept_prob = 0.7;
+  /// Seed for the engine's acceptance sampling (reseeded on every Reset so
+  /// Run() stays equivalent to an external Admit/StepTo loop).
+  uint64_t seed = 0x5eedf00d;
+
+  SpecDecodeConfig();
+};
+
+/// Llama-68M-class draft model (the usual companion speculator for 7-8B
+/// targets): 2 layers, 768 hidden — weights stream in ~tens of microseconds.
+serving::ModelSpec DraftLlama68M();
+
+}  // namespace flashinfer::spec

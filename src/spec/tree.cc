@@ -1,0 +1,85 @@
+#include "spec/tree.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace flashinfer::spec {
+
+namespace {
+
+/// Hard cap on tree tokens: verification batches every tree token per
+/// request, so an exponential b^depth blowup would swamp the verify step
+/// (and no practical speculator drafts hundreds of candidates).
+constexpr int kMaxTreeTokens = 256;
+
+}  // namespace
+
+DraftTree::DraftTree(const TreeConfig& cfg) : cfg_(cfg) {
+  FI_CHECK_GE(cfg.depth, 1);
+  FI_CHECK_GE(cfg.branching, 1);
+  // Level order: level 1's nodes extend the context (parent -1); each node
+  // at level l spawns `branching` children at level l+1.
+  int prev_begin = -1;  // First node of the previous level.
+  int prev_width = 1;
+  for (int level = 1; level <= cfg.depth; ++level) {
+    const int width = prev_width * cfg.branching;
+    FI_CHECK_LE(static_cast<int>(parent_.size()) + width, kMaxTreeTokens);
+    const int begin = static_cast<int>(parent_.size());
+    for (int i = 0; i < width; ++i) {
+      parent_.push_back(level == 1 ? -1 : prev_begin + i / cfg.branching);
+      level_.push_back(level);
+    }
+    prev_begin = begin;
+    prev_width = width;
+  }
+}
+
+int DraftTree::LevelWidth(int level) const {
+  FI_CHECK_GE(level, 1);
+  FI_CHECK_LE(level, cfg_.depth);
+  int w = 1;
+  for (int l = 0; l < level; ++l) w *= cfg_.branching;
+  return w;
+}
+
+std::vector<std::vector<bool>> DraftTree::AncestorMask() const {
+  const int n = Size();
+  std::vector<std::vector<bool>> mask(static_cast<size_t>(n),
+                                      std::vector<bool>(static_cast<size_t>(n), false));
+  for (int i = 0; i < n; ++i) {
+    for (int a = i; a >= 0; a = Parent(a)) mask[static_cast<size_t>(i)][static_cast<size_t>(a)] = true;
+  }
+  return mask;
+}
+
+sparse::BsrMatrix TreeMaskBsr(const DraftTree& tree, int tile_q, int group) {
+  const auto fused = sparse::ExpandMaskRows(tree.AncestorMask(), group);
+  return sparse::BsrFromDenseMask(fused, tile_q, /*bc=*/1);
+}
+
+int SampleAcceptedLen(Rng& rng, const DraftTree& tree, double accept_prob) {
+  const double p = std::min(std::max(accept_prob, 0.0), 1.0);
+  int accepted = 0;
+  for (int level = 1; level <= tree.Depth(); ++level) {
+    bool any = false;
+    for (int c = 0; c < tree.Branching() && !any; ++c) any = rng.NextDouble() < p;
+    if (!any) break;
+    ++accepted;
+  }
+  return accepted;
+}
+
+double ExpectedAcceptedLen(const DraftTree& tree, double accept_prob) {
+  const double p = std::min(std::max(accept_prob, 0.0), 1.0);
+  const double level_p = 1.0 - std::pow(1.0 - p, tree.Branching());
+  // E[L] = sum_{k=1..d} P(L >= k) = sum level_p^k.
+  double e = 0.0, pk = 1.0;
+  for (int k = 1; k <= tree.Depth(); ++k) {
+    pk *= level_p;
+    e += pk;
+  }
+  return e;
+}
+
+}  // namespace flashinfer::spec

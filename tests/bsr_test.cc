@@ -150,6 +150,48 @@ INSTANTIATE_TEST_SUITE_P(PageAndTile, BsrTileSweep,
                          ::testing::Combine(::testing::Values(1, 2, 4, 16),
                                             ::testing::Values(1, 4, 16, 128)));
 
+TEST(MaskHelpers, ExpandMaskRowsRepeatsPerGroup) {
+  const std::vector<std::vector<bool>> mask = {{true, false}, {false, true}};
+  const auto expanded = ExpandMaskRows(mask, 3);
+  ASSERT_EQ(expanded.size(), 6u);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_TRUE(expanded[static_cast<size_t>(j)][0]);
+    EXPECT_FALSE(expanded[static_cast<size_t>(j)][1]);
+    EXPECT_FALSE(expanded[static_cast<size_t>(3 + j)][0]);
+    EXPECT_TRUE(expanded[static_cast<size_t>(3 + j)][1]);
+  }
+  // group == 1 is the identity.
+  EXPECT_EQ(ExpandMaskRows(mask, 1).size(), 2u);
+}
+
+TEST(MaskHelpers, TileBsrDiagonalPreservesStructurePerCopy) {
+  // Lower a small mask, replicate it, and check each copy's block rows are
+  // bitwise-identical modulo the column/row offsets.
+  const std::vector<std::vector<bool>> mask = {
+      {true, false, false}, {true, true, false}, {false, true, true}};
+  const auto unit = BsrFromDenseMask(mask, /*br=*/2, /*bc=*/1);
+  const auto tiled = TileBsrDiagonal(unit, 4);
+  tiled.Validate();
+  EXPECT_EQ(tiled.NumBlockRows(), unit.NumBlockRows() * 4);
+  EXPECT_EQ(tiled.num_rows, unit.num_rows * 4);
+  for (int c = 0; c < 4; ++c) {
+    for (int64_t e = 0; e < unit.Nnz(); ++e) {
+      const size_t te = static_cast<size_t>(c * unit.Nnz() + e);
+      EXPECT_EQ(tiled.indices[te],
+                unit.indices[static_cast<size_t>(e)] + c * unit.num_col_blocks);
+      EXPECT_EQ(tiled.block_pos[te], unit.block_pos[static_cast<size_t>(e)]);
+      EXPECT_EQ(tiled.block_valid[te], unit.block_valid[static_cast<size_t>(e)]);
+    }
+  }
+  // Row extents repeat with the per-copy row offset.
+  for (int c = 0; c < 4; ++c) {
+    for (int64_t b = 0; b < unit.NumBlockRows(); ++b) {
+      EXPECT_EQ(tiled.row_start[static_cast<size_t>(c * unit.NumBlockRows() + b + 1)],
+                unit.row_start[static_cast<size_t>(b + 1)] + c * unit.num_rows);
+    }
+  }
+}
+
 TEST(Gather, CopiesScatteredRows) {
   std::vector<float> src(64);
   for (size_t i = 0; i < src.size(); ++i) src[i] = static_cast<float>(i);

@@ -114,7 +114,8 @@ INSTANTIATE_TEST_SUITE_P(AllDtypes, PagedDtypeSweep,
 TEST(Paged, AdoptPrefixSharesPages) {
   PagedKVCache kv(DType::kF32, 1, 2, 4, 8);
   const int parent = kv.CreateSequence();
-  std::vector<float> k(2, 1.0f), v(2, 1.0f);
+  // AppendTokens reads [count, H_kv, D]: size the buffers for all 8 tokens.
+  std::vector<float> k(8 * 2, 1.0f), v(8 * 2, 1.0f);
   kv.AppendTokens(parent, k.data(), v.data(), 8);  // Two full pages.
   const auto parent_pages = kv.SequencePages(parent);
 
@@ -135,7 +136,8 @@ TEST(Paged, AdoptPrefixSharesPages) {
 
 TEST(Paged, DropSequenceFreesExactlyItsPages) {
   PagedKVCache kv(DType::kF16, 1, 2, 2, 16);
-  std::vector<float> k(2, 0.5f), v(2, 0.5f);
+  // AppendTokens reads [count, H_kv, D]: size for the largest append.
+  std::vector<float> k(5 * 2, 0.5f), v(5 * 2, 0.5f);
   const int a = kv.CreateSequence();
   const int b = kv.CreateSequence();
   kv.AppendTokens(a, k.data(), v.data(), 5);
@@ -159,6 +161,131 @@ TEST(Paged, SequenceSlotReuse) {
 TEST(Paged, BytesPerToken) {
   PagedKVCache kv(DType::kFP8_E4M3, 8, 128, 16, 4);
   EXPECT_EQ(kv.BytesPerToken(), 2 * 8 * 128 * 1);
+}
+
+// --- Fork / truncate / extend (speculative decoding) ------------------------
+
+TEST(Paged, ExtendAllocatesLikeAppend) {
+  PagedKVCache kv(DType::kF16, 1, 2, 4, 8);
+  const int seq = kv.CreateSequence();
+  kv.ExtendSequence(seq, 9);
+  EXPECT_EQ(kv.SequenceLength(seq), 9);
+  EXPECT_EQ(kv.SequencePages(seq).size(), 3u);  // ceil(9/4).
+  EXPECT_EQ(kv.LastPageLen(seq), 1);
+  kv.ExtendSequence(seq, 3);  // Fills the partial page exactly.
+  EXPECT_EQ(kv.SequencePages(seq).size(), 3u);
+  kv.DropSequence(seq);
+  EXPECT_EQ(kv.num_live_pages(), 0);
+}
+
+TEST(Paged, ForkSharesFullPagesAndCopiesPartialTail) {
+  PagedKVCache kv(DType::kF32, 1, 2, 4, 16);
+  std::vector<float> k(2), v(2);
+  const int seq = kv.CreateSequence();
+  for (int t = 0; t < 6; ++t) {  // 1 full page + 2 tokens on the tail page.
+    k.assign(2, static_cast<float>(t));
+    v.assign(2, static_cast<float>(10 + t));
+    kv.AppendTokens(seq, k.data(), v.data(), 1);
+  }
+  const int fork = kv.ForkSequence(seq);
+  EXPECT_EQ(kv.SequenceLength(fork), 6);
+  const auto& sp = kv.SequencePages(seq);
+  const auto& fp = kv.SequencePages(fork);
+  EXPECT_EQ(fp[0], sp[0]);      // Full page aliased...
+  EXPECT_EQ(kv.RefCount(sp[0]), 2);
+  EXPECT_NE(fp[1], sp[1]);      // ...partial tail copied (CoW).
+  // The copied tail holds the same data.
+  EXPECT_EQ(kv.KAt(fp[1], 0, 1, 0), 5.0f);
+  EXPECT_EQ(kv.VAt(fp[1], 0, 0, 1), 14.0f);
+  // Divergent appends stay isolated.
+  k.assign(2, 100.0f);
+  v.assign(2, 200.0f);
+  kv.AppendTokens(fork, k.data(), v.data(), 1);
+  EXPECT_EQ(kv.SequenceLength(seq), 6);
+  EXPECT_EQ(kv.KAt(sp[1], 0, 2, 0), 0.0f);  // Parent's slot untouched.
+  kv.DropSequence(fork);
+  EXPECT_EQ(kv.RefCount(sp[0]), 1);
+  kv.DropSequence(seq);
+  EXPECT_EQ(kv.num_live_pages(), 0);
+}
+
+TEST(Paged, TruncateReleasesExactlyTheTailPages) {
+  PagedKVCache kv(DType::kF16, 1, 2, 4, 8);
+  const int seq = kv.CreateSequence();
+  kv.ExtendSequence(seq, 15);  // 4 pages.
+  EXPECT_EQ(kv.num_live_pages(), 4);
+  kv.TruncateSequence(seq, 9);  // Keep ceil(9/4) = 3 pages.
+  EXPECT_EQ(kv.SequenceLength(seq), 9);
+  EXPECT_EQ(kv.num_live_pages(), 3);
+  kv.TruncateSequence(seq, 8);  // Page-aligned: drops the ragged tail page.
+  EXPECT_EQ(kv.num_live_pages(), 2);
+  kv.TruncateSequence(seq, 0);
+  EXPECT_EQ(kv.num_live_pages(), 0);
+  kv.ExtendSequence(seq, 2);  // Still usable after a full rollback.
+  EXPECT_EQ(kv.num_live_pages(), 1);
+  kv.DropSequence(seq);
+  EXPECT_EQ(kv.num_live_pages(), 0);
+}
+
+TEST(Paged, ForkRollbackRefcountStress) {
+  // Speculative-decoding pattern under stress: a shared committed prefix is
+  // forked into many speculative branches per round, each extends, losers
+  // roll back (drop), the winner is truncated to the accepted length and
+  // becomes the next round's parent — with extra RetainPage/ReleasePage
+  // churn interleaved across the shared prefix. After every round the
+  // accounting must be exact: no leaked pages, no double frees.
+  const int page_size = 4;
+  PagedKVCache kv(DType::kF16, 1, 1, page_size, 512);
+  Rng rng(2026);
+
+  int parent = kv.CreateSequence();
+  kv.ExtendSequence(parent, 21);  // Committed prefix, ragged tail.
+
+  for (int round = 0; round < 50; ++round) {
+    const int num_branches = static_cast<int>(rng.UniformInt(2, 5));
+    std::vector<int> branches;
+    for (int b = 0; b < num_branches; ++b) {
+      const int f = kv.ForkSequence(parent);
+      kv.ExtendSequence(f, rng.UniformInt(1, 11));
+      branches.push_back(f);
+    }
+    // Interleaved retain/release churn on the parent's shared pages (a
+    // router-side mirror grabbing and dropping references mid-flight).
+    const auto parent_pages = kv.SequencePages(parent);
+    for (int64_t p : parent_pages) kv.RetainPage(p);
+    // Every branch's full pages are shared with the parent.
+    for (int f : branches) {
+      const int64_t shared = kv.SequenceLength(parent) / page_size;
+      for (int64_t i = 0; i < shared; ++i) {
+        EXPECT_GE(kv.RefCount(kv.SequencePages(f)[static_cast<size_t>(i)]), 2);
+      }
+    }
+    for (int64_t p : parent_pages) kv.ReleasePage(p);
+
+    // Rejection sampling: one winner (possibly none), losers roll back.
+    const int winner = static_cast<int>(rng.UniformInt(0, num_branches));  // == n -> none.
+    for (int b = 0; b < num_branches; ++b) {
+      if (b == winner) continue;
+      kv.DropSequence(branches[static_cast<size_t>(b)]);
+    }
+    if (winner < num_branches) {
+      const int w = branches[static_cast<size_t>(winner)];
+      const int64_t accepted = rng.UniformInt(kv.SequenceLength(parent),
+                                              kv.SequenceLength(w));
+      kv.TruncateSequence(w, accepted);
+      kv.DropSequence(parent);
+      parent = w;
+    }
+    // Exact accounting: live pages == the pages the surviving sequence
+    // needs, and every live page has refcount exactly 1 (no aliasing leaks
+    // survive a round).
+    const int64_t expect_pages =
+        (kv.SequenceLength(parent) + page_size - 1) / page_size;
+    ASSERT_EQ(kv.num_live_pages(), expect_pages) << "round " << round;
+    for (int64_t p : kv.SequencePages(parent)) ASSERT_EQ(kv.RefCount(p), 1);
+  }
+  kv.DropSequence(parent);
+  EXPECT_EQ(kv.num_live_pages(), 0);
 }
 
 }  // namespace
