@@ -5,6 +5,10 @@
 // parallel) under ShareGPT-like and Variable U(512,2048) workloads, at
 // request rates in the latency-sensitive regime (paper: rate adjusted for
 // P99 TTFT < 200 ms).
+//
+// Usage: bench_fig7_e2e_serving [--json <path>]
+#include <string>
+
 #include "bench_common.h"
 #include "serving/engine.h"
 
@@ -27,9 +31,13 @@ struct Setting {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_path = bench::ArgValue(argc, argv, "--json");
   bench::Banner("Figure 7", "e2e serving: SGLang + FlashInfer vs SGLang + Triton");
   bench::Note("median ITL / TTFT (ms); cells: measured (paper)");
+
+  bench::JsonResult json;
+  json.Add("bench", std::string("fig7_e2e_serving"));
 
   const Setting settings[] = {
       {"Llama 3.1 8B Instruct (1xH100)", Llama31_8B(), 80.0, 44.0, 18.0,
@@ -40,10 +48,12 @@ int main() {
        {{141.2, 115.6}, {165.2, 157.8}}},
   };
 
+  int model_idx = 0;
   for (const auto& s : settings) {
     std::printf("\n--- %s ---\n", s.model_name);
     AsciiTable t({"workload", "backend", "median ITL (ms)", "median TTFT (ms)",
                   "throughput (tok/s)"});
+    const std::string mkey = model_idx == 0 ? "llama8b" : "llama70b_tp4";
     for (int w = 0; w < 2; ++w) {
       Rng rng(99);
       const auto workload =
@@ -61,12 +71,20 @@ int main() {
         t.AddRow({wname, backend.name, WithPaper(m.MedianItlMs(), s.paper_itl[w][b], 1),
                   WithPaper(m.MedianTtftMs(), s.paper_ttft[w][b], 1),
                   AsciiTable::Num(m.ThroughputTokS(), 0)});
+        const std::string key = mkey + "_" + (w == 0 ? "sharegpt" : "variable") +
+                                (b == 0 ? "_triton" : "_flashinfer");
+        json.Add(key + "_median_itl_ms", m.MedianItlMs());
+        json.Add(key + "_median_ttft_ms", m.MedianTtftMs());
+        json.Add(key + "_p99_itl_ms", m.P99ItlMs());
+        json.Add(key + "_tok_s", m.ThroughputTokS());
         ++b;
       }
     }
     t.Print();
+    ++model_idx;
   }
   bench::Note("\nexpected shape: FlashInfer below Triton on every ITL/TTFT pair;");
   bench::Note("largest ITL gaps on the Variable workload (longer KV, more imbalance).");
+  if (!json.WriteTo(json_path)) return 1;
   return 0;
 }

@@ -119,6 +119,15 @@ ClusterMetrics ClusterEngine::Run(const std::vector<Request>& workload) {
     agg.cached_prefix_tokens += m.cached_prefix_tokens;
     agg.num_idle_skips += m.num_idle_skips;
     agg.total_idle_s += m.total_idle_s;
+    agg.mixed_steps += m.mixed_steps;
+    agg.prefill_only_steps += m.prefill_only_steps;
+    agg.decode_only_steps += m.decode_only_steps;
+    agg.prefill_chunks += m.prefill_chunks;
+    agg.chunked_requests += m.chunked_requests;
+    agg.itl_stall_steps += m.itl_stall_steps;
+    agg.steps_with_stalls += m.steps_with_stalls;
+    agg.branch_stalls.insert(agg.branch_stalls.end(), m.branch_stalls.begin(),
+                             m.branch_stalls.end());
     agg.spec_steps += m.spec_steps;
     agg.spec_committed_tokens += m.spec_committed_tokens;
     agg.total_draft_ms += m.total_draft_ms;

@@ -73,42 +73,8 @@ AttnSimInput ServingEngine::HeadGeometry() const {
   return in;
 }
 
-double ServingEngine::AttnStepUs(const std::vector<Branch>& batch,
-                                 const std::vector<int64_t>& qo_lens, bool decode) const {
-  if (batch.empty()) return 0.0;
-  AttnSimInput in = HeadGeometry();
-  in.qo_lens = qo_lens;
-  in.kv_lens.reserve(batch.size());
-  for (const auto& b : batch) in.kv_lens.push_back(b.kv_len);
-
-  if (decode) {
-    // Identify parallel-generation sibling groups (contiguous by
-    // construction).
-    std::map<int, AttnSimInput::Group> groups;
-    for (size_t i = 0; i < batch.size(); ++i) {
-      if (batch[i].group < 0) continue;
-      auto& grp = groups[batch[i].group];
-      grp.prefix_len = batch[i].prefix_len;
-      grp.members.push_back(static_cast<int>(i));
-    }
-    for (auto& [id, grp] : groups) {
-      if (grp.members.size() < 2 || grp.prefix_len < cfg_.page_size) continue;
-      if (cfg_.backend.composable) in.groups.push_back(grp);
-    }
-    // Without composable-format support the engine materializes each
-    // branch's prompt KV separately (Sec. 5.1: prior shared-prefix systems
-    // need separate prefix/suffix cache management), so sibling reads hit
-    // distinct HBM addresses — no L2 dedup credit for the single format.
-  }
-
+double ServingEngine::AttnLaunchUs(const AttnSimInput& in) const {
   auto report = SimulateBatchAttention(cfg_.device, cfg_.backend, in);
-  if (std::getenv("FI_DEBUG_ATTN") != nullptr && decode) {
-    int64_t total_kv = 0;
-    for (int64_t l : in.kv_lens) total_kv += l;
-    std::fprintf(stderr, "[attn] decode batch=%zu groups=%zu total_kv=%lld t=%.2fus\n",
-                 in.qo_lens.size(), in.groups.size(), static_cast<long long>(total_kv),
-                 report.time_us);
-  }
   // Plan reuse across layers: one scheduler pass, num_layers launches.
   const int layers = cfg_.model.num_layers;
   double t = report.time_us * layers;
@@ -116,7 +82,7 @@ double ServingEngine::AttnStepUs(const std::vector<Branch>& batch,
     // Separate RoPE kernel over this step's Q and K rows (bandwidth-bound,
     // small-kernel efficiency).
     int64_t tokens = 0;
-    for (int64_t q : qo_lens) tokens += q;
+    for (int64_t q : in.qo_lens) tokens += q;
     const double bytes = 2.0 *  // Read + write.
                          static_cast<double>(tokens) *
                          (in.num_qo_heads + in.num_kv_heads) * in.head_dim * 2.0;
@@ -132,7 +98,7 @@ double ServingEngine::SpecVerifyAttnUs() const {
   context_lens.reserve(running_.size());
   for (const auto& b : running_) context_lens.push_back(b.kv_len);
   auto report = verify_pricer_->Price(context_lens);
-  // Plan reuse across layers, exactly like AttnStepUs.
+  // Plan reuse across layers, exactly like AttnLaunchUs.
   const int layers = cfg_.model.num_layers;
   double t = report.time_us * layers;
   if (!cfg_.backend.fused_rope) {
@@ -147,6 +113,7 @@ double ServingEngine::SpecVerifyAttnUs() const {
 
 void ServingEngine::Reset() {
   pending_.clear();
+  prefilling_.clear();
   running_.clear();
   group_refs_.clear();
   metrics_ = ServingMetrics{};
@@ -167,16 +134,20 @@ void ServingEngine::Reset() {
 }
 
 void ServingEngine::Admit(const Request& r) {
-  // Keep the queue sorted by arrival (stable: ties go behind earlier admits),
-  // so the admission loop below never stalls behind a later arrival.
+  // Keep the queue sorted by (arrival, id) so the admission loop below never
+  // stalls behind a later arrival. The id tie-break makes simultaneous
+  // arrivals (bursts) order-independent of the Admit() call order: an
+  // unsorted admission sequence yields the exact same schedule as a sorted
+  // one.
   auto it = std::upper_bound(
-      pending_.begin(), pending_.end(), r,
-      [](const Request& a, const Request& b) { return a.arrival_s < b.arrival_s; });
+      pending_.begin(), pending_.end(), r, [](const Request& a, const Request& b) {
+        return a.arrival_s != b.arrival_s ? a.arrival_s < b.arrival_s : a.id < b.id;
+      });
   pending_.insert(it, r);
 }
 
 double ServingEngine::NextEventTime() const noexcept {
-  if (!running_.empty()) return now_s_;
+  if (!running_.empty() || !prefilling_.empty()) return now_s_;
   if (!pending_.empty()) return std::max(now_s_, pending_.front().arrival_s);
   return std::numeric_limits<double>::infinity();
 }
@@ -197,6 +168,12 @@ int64_t ServingEngine::QueuedTokens() const noexcept {
   int64_t total = 0;
   for (const auto& r : pending_) {
     total += r.input_len + r.output_len * std::max(1, r.parallel_n);
+  }
+  // Partially prefilled requests still owe their un-prefilled remainder and
+  // their whole output — a router must see that backlog, not just pending_.
+  for (const auto& p : prefilling_) {
+    total += (p.to_compute - p.computed) +
+             p.req.output_len * std::max(1, p.req.parallel_n);
   }
   return total;
 }
@@ -225,22 +202,25 @@ void ServingEngine::FinishBranch(const Branch& b) {
     }
   }
   if (b.spec_seq >= 0) spec_kv_->DropSequence(b.spec_seq);
+  metrics_.branch_stalls.push_back(b.stall_steps);
 }
 
-ServingEngine::StepKind ServingEngine::StepOnce() {
-  if (Finished()) return StepKind::kNone;
-
-  // Admit arrived requests within memory and token budget.
-  std::vector<Request> admitted;
-  int64_t prefill_tokens = 0;
+void ServingEngine::AdmitArrived() {
+  const bool legacy = cfg_.prefill_chunk_tokens == 0;
+  // Legacy prefill-alone fuses admission with prefill-step formation: this
+  // step prefills exactly what it admits, so the per-step token budget gates
+  // admission (an oversized request still admits alone — otherwise it would
+  // starve forever). Chunked admission is budget-free: pacing is
+  // FormStepPlan's job, and an admitted request waits in prefilling_ with
+  // its KV already reserved.
+  int64_t step_tokens = 0;
+  int admitted = 0;
   while (!pending_.empty() && pending_.front().arrival_s <= now_s_ &&
-         static_cast<int>(running_.size() + admitted.size()) < cfg_.max_running) {
-    const auto& r = pending_.front();
+         static_cast<int>(running_.size() + prefilling_.size()) < cfg_.max_running) {
+    const Request& r = pending_.front();
     const int64_t new_tokens = r.input_len - CachedTokens(r);
-    // Token budget per prefill step; an oversized request still admits
-    // alone (otherwise it would starve forever).
-    if (!admitted.empty() &&
-        prefill_tokens + new_tokens > cfg_.max_prefill_tokens) {
+    if (legacy && admitted > 0 &&
+        step_tokens + new_tokens > cfg_.max_prefill_tokens) {
       break;
     }
     // Spec decode additionally reserves every branch's full output KV at
@@ -254,96 +234,57 @@ ServingEngine::StepKind ServingEngine::StepOnce() {
     const int64_t need = r.input_len + r.parallel_n * slack_tokens_ + spec_out;
     if (kv_tokens_in_use_ + need > kv_token_budget_) break;
     kv_tokens_in_use_ += need;
-    prefill_tokens += new_tokens;
-    admitted.push_back(r);
+    step_tokens += new_tokens;
+    ++admitted;
+    PrefillProgress p;
+    p.req = r;
+    p.to_compute = new_tokens;
+    prefilling_.push_back(std::move(p));
     pending_.pop_front();
   }
+}
 
-  if (!admitted.empty()) {
-    // --- Prefill step (runs alone, as in SGLang). ------------------------
-    // A prefix-cache hit (Request::cached_prefix_len, set by the cluster
-    // router layer) skips recomputation of the cached prompt tokens: the
-    // attention query covers only the uncached suffix while KV spans the
-    // full prompt — exactly the incremental "append" kernel shape. KV
-    // memory is still charged for the full prompt (this model does not
-    // dedup cached pages across requests).
-    std::vector<Branch> prefill_batch;
-    std::vector<int64_t> qo_lens;
-    for (const auto& r : admitted) {
-      Branch b;
-      b.request_id = r.id;
-      b.kv_len = r.input_len;
-      prefill_batch.push_back(b);
-      qo_lens.push_back(r.input_len - CachedTokens(r));
+ServingEngine::StepPlan ServingEngine::FormStepPlan() const {
+  StepPlan plan;
+  if (cfg_.prefill_chunk_tokens == 0) {
+    // Legacy prefill-alone: every admitted request prefills its whole prompt
+    // this step, and decodes run only in steps with no prefill (running
+    // branches stall behind it — the head-of-line blocking mixed batching
+    // removes).
+    for (size_t i = 0; i < prefilling_.size(); ++i) {
+      plan.chunks.push_back(
+          {i, prefilling_[i].to_compute - prefilling_[i].computed, true});
     }
-    const double host_us = cfg_.backend.host_us_per_step +
-                           cfg_.backend.host_us_per_req * admitted.size() +
-                           // Prefill never replays graphs: per-layer launches.
-                           cfg_.model.num_layers * 2.0;
-    const double gemm_us = GemmUs(cfg_.model, prefill_tokens);
-    const double attn_us = AttnStepUs(prefill_batch, qo_lens, /*decode=*/false);
-    const double comm_us = CommStepUs(prefill_tokens);
-    const double step_s = (host_us + gemm_us + attn_us + comm_us) * 1e-6;
-    now_s_ += step_s;
-    metrics_.total_gemm_ms += gemm_us * 1e-3;
-    metrics_.total_attention_ms += attn_us * 1e-3;
-    metrics_.total_host_ms += host_us * 1e-3;
-    metrics_.total_comm_ms += comm_us * 1e-3;
-    ++metrics_.num_steps;
-
-    // First token of each admitted request is produced by its prefill.
-    for (const auto& r : admitted) {
-      metrics_.ttft_ms.push_back((now_s_ - r.arrival_s) * 1e3);
-      ++metrics_.total_output_tokens;
-      metrics_.total_prefill_tokens += r.input_len - CachedTokens(r);
-      metrics_.cached_prefix_tokens += CachedTokens(r);
-      const int group = r.parallel_n > 1 ? next_group_++ : -1;
-      if (group >= 0) group_refs_[group] = {r.parallel_n, r.input_len};
-      // Spec decode: materialize the prompt KV structurally; parallel
-      // branches fork it (retained pages) instead of re-owning it.
-      int prefix_seq = -1;
-      if (spec_kv_ && r.parallel_n > 1) {
-        prefix_seq = spec_kv_->CreateSequence();
-        spec_kv_->ExtendSequence(prefix_seq, r.input_len);
-      }
-      for (int n = 0; n < r.parallel_n; ++n) {
-        Branch b;
-        b.request_id = r.id;
-        b.group = group;
-        b.prefix_len = r.parallel_n > 1 ? r.input_len : 0;
-        b.kv_len = r.input_len + 1;
-        b.remaining = std::max<int64_t>(r.output_len - 1, 0);
-        b.last_emit_s = now_s_;
-        if (spec_kv_) {
-          b.accept_prob =
-              r.accept_prob >= 0.0 ? r.accept_prob : cfg_.spec.default_accept_prob;
-          if (prefix_seq >= 0) {
-            b.spec_seq = spec_kv_->ForkSequence(prefix_seq);
-            spec_kv_->ExtendSequence(b.spec_seq, 1);
-          } else {
-            b.spec_seq = spec_kv_->CreateSequence();
-            spec_kv_->ExtendSequence(b.spec_seq, r.input_len + 1);
-          }
-        }
-        running_.push_back(b);
-        // Spec engines charged the whole output at admission; vanilla
-        // charges tokens as they are emitted.
-        if (!cfg_.spec.enabled) kv_tokens_in_use_ += 1;
-        // A zero-remaining branch never reaches a decode step; settle its
-        // charge now (vanilla decode releases via the decode loop, but spec
-        // prefill must not leave its sequence behind).
-        if (b.remaining == 0 && spec_kv_) {
-          FinishBranch(b);
-          running_.pop_back();
-        }
-      }
-      if (prefix_seq >= 0) spec_kv_->DropSequence(prefix_seq);
+    plan.decode = plan.chunks.empty() && !running_.empty();
+  } else {
+    // Mixed batch: chunks ride along with every running branch's decode
+    // token. Decode-priority spends at most one chunk's worth of prefill per
+    // step; throughput-priority packs chunks up to the per-step budget. The
+    // max(1, ...) guarantees the head request always advances even under a
+    // degenerate budget.
+    int64_t budget = std::max<int64_t>(
+        1, cfg_.batch_policy == BatchPolicy::kDecodePriority
+               ? std::min(cfg_.prefill_chunk_tokens, cfg_.max_prefill_tokens)
+               : cfg_.max_prefill_tokens);
+    for (size_t i = 0; i < prefilling_.size() && budget > 0; ++i) {
+      const int64_t remaining = prefilling_[i].to_compute - prefilling_[i].computed;
+      const int64_t take = std::min({remaining, cfg_.prefill_chunk_tokens, budget});
+      plan.chunks.push_back({i, take, take == remaining});
+      budget -= take;
     }
-    metrics_.makespan_s = now_s_;
-    return StepKind::kWork;
+    plan.decode = !running_.empty();
   }
+  for (const auto& c : plan.chunks) plan.prefill_tokens += c.tokens;
+  return plan;
+}
 
-  if (running_.empty()) {
+ServingEngine::StepKind ServingEngine::StepOnce() {
+  if (Finished()) return StepKind::kNone;
+
+  AdmitArrived();
+  const StepPlan plan = FormStepPlan();
+
+  if (plan.chunks.empty() && !plan.decode) {
     // Idle: jump to the next arrival. If the head request has already
     // arrived, admission failed with an empty engine — its KV need alone
     // exceeds the budget and no amount of time helps; fail loudly instead
@@ -358,28 +299,202 @@ ServingEngine::StepKind ServingEngine::StepOnce() {
     return StepKind::kIdle;
   }
 
-  if (cfg_.spec.enabled) {
-    SpecDecodeStep();
-    return StepKind::kWork;
+  ExecuteStepPlan(plan);
+  return StepKind::kWork;
+}
+
+void ServingEngine::ExecuteStepPlan(const StepPlan& plan) {
+  const bool spec_step = plan.decode && cfg_.spec.enabled;
+  const size_t decode_branches = plan.decode ? running_.size() : 0;
+  const int64_t decode_tokens =
+      spec_step ? static_cast<int64_t>(decode_branches) * tree_->Size()
+                : static_cast<int64_t>(decode_branches);
+
+  // --- Attention: ONE simulated launch over the step's mixed qo_lens
+  // (decode rows first, then prefill-chunk rows), reused across layers.
+  // Spec verify tokens are the exception: their ancestor-masked attention is
+  // priced through the tree-kernel path (SpecVerifyAttnUs) and added here.
+  AttnSimInput in = HeadGeometry();
+  if (plan.decode && !spec_step) {
+    for (const auto& b : running_) {
+      in.qo_lens.push_back(1);
+      in.kv_lens.push_back(b.kv_len);
+    }
+    // Identify parallel-generation sibling groups (contiguous by
+    // construction; members index the decode rows, which come first).
+    std::map<int, AttnSimInput::Group> groups;
+    for (size_t i = 0; i < running_.size(); ++i) {
+      if (running_[i].group < 0) continue;
+      auto& grp = groups[running_[i].group];
+      grp.prefix_len = running_[i].prefix_len;
+      grp.members.push_back(static_cast<int>(i));
+    }
+    for (auto& [id, grp] : groups) {
+      if (grp.members.size() < 2 || grp.prefix_len < cfg_.page_size) continue;
+      if (cfg_.backend.composable) in.groups.push_back(grp);
+    }
+    // Without composable-format support the engine materializes each
+    // branch's prompt KV separately (Sec. 5.1: prior shared-prefix systems
+    // need separate prefix/suffix cache management), so sibling reads hit
+    // distinct HBM addresses — no L2 dedup credit for the single format.
+  }
+  for (const auto& c : plan.chunks) {
+    const auto& p = prefilling_[c.prefill_idx];
+    // A chunk's query covers its new prompt tokens while KV spans everything
+    // prefilled so far (cached prefix + earlier chunks + this chunk) —
+    // exactly the incremental "append" kernel shape. KV memory was charged
+    // for the full prompt at admission (no cross-request page dedup).
+    in.qo_lens.push_back(c.tokens);
+    in.kv_lens.push_back(CachedTokens(p.req) + p.computed + c.tokens);
+  }
+  double attn_us = in.qo_lens.empty() ? 0.0 : AttnLaunchUs(in);
+  if (spec_step) attn_us += SpecVerifyAttnUs();
+
+  // --- Draft phase (spec only): `depth` sequential forward passes of the
+  // draft model, level l proposing branching^l candidates per branch. The
+  // draft's own attention/KV cost is folded into the per-pass launch
+  // overhead (the draft is ~100x smaller than the target).
+  double draft_us = 0.0;
+  if (spec_step) {
+    const spec::DraftTree& tree = *tree_;
+    for (int level = 1; level <= tree.Depth(); ++level) {
+      draft_us += GemmUs(cfg_.spec.draft_model,
+                         static_cast<int64_t>(decode_branches) * tree.LevelWidth(level));
+    }
+    draft_us += tree.Depth() * (cfg_.backend.use_cuda_graph
+                                    ? 10.0
+                                    : cfg_.spec.draft_model.num_layers * 2.0);
   }
 
-  // --- Decode step: one token for every running branch. ------------------
-  std::vector<int64_t> qo_lens(running_.size(), 1);
+  // --- GEMM, comm, host: charged once over the whole mixed step. Steps with
+  // prefill chunks never replay graphs (their shapes change every step).
+  const int64_t step_tokens = plan.prefill_tokens + decode_tokens;
   const double host_us =
-      cfg_.backend.host_us_per_step + cfg_.backend.host_us_per_req * running_.size() +
-      (cfg_.backend.use_cuda_graph ? 10.0 : cfg_.model.num_layers * 2.0);
-  const double gemm_us =
-      GemmUs(cfg_.model, static_cast<int64_t>(running_.size()));
-  const double attn_us = AttnStepUs(running_, qo_lens, /*decode=*/true);
-  const double comm_us = CommStepUs(static_cast<int64_t>(running_.size()));
-  const double step_s = (host_us + gemm_us + attn_us + comm_us) * 1e-6;
+      cfg_.backend.host_us_per_step +
+      cfg_.backend.host_us_per_req *
+          static_cast<double>(decode_branches + plan.chunks.size()) +
+      (plan.chunks.empty() && cfg_.backend.use_cuda_graph
+           ? 10.0
+           : cfg_.model.num_layers * 2.0);
+  const double gemm_us = GemmUs(cfg_.model, step_tokens);
+  const double comm_us = CommStepUs(step_tokens);
+  const double step_s = (draft_us + host_us + gemm_us + attn_us + comm_us) * 1e-6;
   now_s_ += step_s;
+
+  if (std::getenv("FI_DEBUG_ATTN") != nullptr) {
+    std::fprintf(stderr,
+                 "[attn] step decode=%zu chunks=%zu prefill_tokens=%lld t=%.2fus\n",
+                 decode_branches, plan.chunks.size(),
+                 static_cast<long long>(plan.prefill_tokens), attn_us);
+  }
+
+  metrics_.total_draft_ms += draft_us * 1e-3;
   metrics_.total_gemm_ms += gemm_us * 1e-3;
   metrics_.total_attention_ms += attn_us * 1e-3;
   metrics_.total_host_ms += host_us * 1e-3;
   metrics_.total_comm_ms += comm_us * 1e-3;
   ++metrics_.num_steps;
+  if (spec_step) ++metrics_.spec_steps;
+  if (!plan.chunks.empty() && plan.decode) {
+    ++metrics_.mixed_steps;
+  } else if (!plan.chunks.empty()) {
+    ++metrics_.prefill_only_steps;
+  } else {
+    ++metrics_.decode_only_steps;
+  }
+  metrics_.prefill_chunks += static_cast<int64_t>(plan.chunks.size());
 
+  // --- Stall accounting: running branches shut out of a prefill-alone step
+  // emitted nothing — the head-of-line blocking chunked batching removes.
+  if (!plan.decode && !running_.empty()) {
+    for (auto& b : running_) ++b.stall_steps;
+    metrics_.itl_stall_steps += static_cast<int64_t>(running_.size());
+    ++metrics_.steps_with_stalls;
+  }
+
+  // --- Decode commit. ------------------------------------------------------
+  if (plan.decode) {
+    if (spec_step) {
+      CommitSpecDecode();
+    } else {
+      CommitDecode();
+    }
+  }
+
+  // --- Prefill progress and completions (FIFO order). ----------------------
+  for (const auto& c : plan.chunks) {
+    auto& p = prefilling_[c.prefill_idx];
+    p.computed += c.tokens;
+    ++p.chunks_used;
+    metrics_.total_prefill_tokens += c.tokens;
+  }
+  std::vector<size_t> done;
+  for (const auto& c : plan.chunks) {
+    if (!c.completes) continue;
+    auto& p = prefilling_[c.prefill_idx];
+    FI_CHECK_EQ(p.computed, p.to_compute);
+    if (p.chunks_used > 1) ++metrics_.chunked_requests;
+    CompletePrefill(p.req);
+    done.push_back(c.prefill_idx);
+  }
+  // Completed entries are not necessarily a prefix of prefilling_ (a huge
+  // head prompt can stay in flight while a short one behind it finishes);
+  // erase back-to-front so indices stay valid.
+  for (auto it = done.rbegin(); it != done.rend(); ++it) {
+    prefilling_.erase(prefilling_.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+  metrics_.makespan_s = now_s_;
+}
+
+void ServingEngine::CompletePrefill(const Request& r) {
+  // The request's first token is produced by its last chunk.
+  metrics_.ttft_ms.push_back((now_s_ - r.arrival_s) * 1e3);
+  ++metrics_.total_output_tokens;
+  metrics_.cached_prefix_tokens += CachedTokens(r);
+  const int group = r.parallel_n > 1 ? next_group_++ : -1;
+  if (group >= 0) group_refs_[group] = {r.parallel_n, r.input_len};
+  // Spec decode: materialize the prompt KV structurally; parallel branches
+  // fork it (retained pages) instead of re-owning it.
+  int prefix_seq = -1;
+  if (spec_kv_ && r.parallel_n > 1) {
+    prefix_seq = spec_kv_->CreateSequence();
+    spec_kv_->ExtendSequence(prefix_seq, r.input_len);
+  }
+  for (int n = 0; n < r.parallel_n; ++n) {
+    Branch b;
+    b.request_id = r.id;
+    b.group = group;
+    b.prefix_len = r.parallel_n > 1 ? r.input_len : 0;
+    b.kv_len = r.input_len + 1;
+    b.remaining = std::max<int64_t>(r.output_len - 1, 0);
+    b.last_emit_s = now_s_;
+    if (spec_kv_) {
+      b.accept_prob =
+          r.accept_prob >= 0.0 ? r.accept_prob : cfg_.spec.default_accept_prob;
+      if (prefix_seq >= 0) {
+        b.spec_seq = spec_kv_->ForkSequence(prefix_seq);
+        spec_kv_->ExtendSequence(b.spec_seq, 1);
+      } else {
+        b.spec_seq = spec_kv_->CreateSequence();
+        spec_kv_->ExtendSequence(b.spec_seq, r.input_len + 1);
+      }
+    }
+    running_.push_back(b);
+    // Spec engines charged the whole output at admission; vanilla charges
+    // tokens as they are emitted.
+    if (!cfg_.spec.enabled) kv_tokens_in_use_ += 1;
+    // A zero-remaining branch never reaches a decode step; settle its charge
+    // now (vanilla decode releases via the decode loop, but spec prefill
+    // must not leave its sequence behind).
+    if (b.remaining == 0 && spec_kv_) {
+      FinishBranch(b);
+      running_.pop_back();
+    }
+  }
+  if (prefix_seq >= 0) spec_kv_->DropSequence(prefix_seq);
+}
+
+void ServingEngine::CommitDecode() {
   std::vector<Branch> still_running;
   still_running.reserve(running_.size());
   for (auto& b : running_) {
@@ -396,47 +511,10 @@ ServingEngine::StepKind ServingEngine::StepOnce() {
     }
   }
   running_ = std::move(still_running);
-  metrics_.makespan_s = now_s_;
-  return StepKind::kWork;
 }
 
-void ServingEngine::SpecDecodeStep() {
+void ServingEngine::CommitSpecDecode() {
   const spec::DraftTree& tree = *tree_;
-  const int64_t batch = static_cast<int64_t>(running_.size());
-  const int64_t verify_tokens = batch * tree.Size();
-
-  // --- Draft phase: `depth` sequential forward passes of the draft model,
-  // level l proposing branching^l candidates per branch. The draft's own
-  // attention/KV cost is folded into the per-pass launch overhead (the
-  // draft is ~100x smaller than the target).
-  double draft_us = 0.0;
-  for (int level = 1; level <= tree.Depth(); ++level) {
-    draft_us += GemmUs(cfg_.spec.draft_model, batch * tree.LevelWidth(level));
-  }
-  draft_us += tree.Depth() * (cfg_.backend.use_cuda_graph
-                                  ? 10.0
-                                  : cfg_.spec.draft_model.num_layers * 2.0);
-
-  // --- Verify phase: ONE target-model step over every tree token. GEMM
-  // covers batch*tree_size tokens; attention runs the real tree-attention
-  // path (context level + masked tail level + contraction).
-  const double host_us =
-      cfg_.backend.host_us_per_step + cfg_.backend.host_us_per_req * batch +
-      (cfg_.backend.use_cuda_graph ? 10.0 : cfg_.model.num_layers * 2.0);
-  const double gemm_us = GemmUs(cfg_.model, verify_tokens);
-  const double attn_us = SpecVerifyAttnUs();
-  const double comm_us = CommStepUs(verify_tokens);
-  const double step_s = (draft_us + host_us + gemm_us + attn_us + comm_us) * 1e-6;
-  now_s_ += step_s;
-  metrics_.total_draft_ms += draft_us * 1e-3;
-  metrics_.total_gemm_ms += gemm_us * 1e-3;
-  metrics_.total_attention_ms += attn_us * 1e-3;
-  metrics_.total_host_ms += host_us * 1e-3;
-  metrics_.total_comm_ms += comm_us * 1e-3;
-  ++metrics_.num_steps;
-  ++metrics_.spec_steps;
-
-  // --- Accept, commit, roll back. -----------------------------------------
   std::vector<Branch> still_running;
   still_running.reserve(running_.size());
   for (auto& b : running_) {
@@ -464,7 +542,6 @@ void ServingEngine::SpecDecodeStep() {
     }
   }
   running_ = std::move(still_running);
-  metrics_.makespan_s = now_s_;
 }
 
 void ServingEngine::SpecCommitKv(Branch& b, int accepted, int64_t commit) {

@@ -1,32 +1,44 @@
 // Continuous-batching LLM serving engine over simulated time (Sec. 4.1).
 //
-// The engine replays an Orca-style continuous-batching policy: arrived
-// requests are admitted and prefilled (prefill steps run alone, as in
-// SGLang); running requests decode one token per step. Each step is charged
-// GEMM time (roofline over the model's dense layers), attention time (the
-// backend's scheduler priced by the kernel cost model, once per step and
-// reused across layers exactly as the paper's plan cache allows),
-// tensor-parallel all-reduce time, and host overhead. Parallel generation
-// (the OpenAI "n" parameter, Sec. 4.4) forks n branches sharing the prompt
-// KV through the paged cache; composable backends decode those groups with
-// the two-level shared-prefix format.
+// Every engine iteration is a *StepPlan*: a batch former assembles one
+// unified batch — each running branch contributes its decode token (or, with
+// spec decode enabled, its draft-tree verify tokens) and each in-flight
+// prefill contributes a prompt *chunk* of at most
+// EngineConfig::prefill_chunk_tokens — and an executor prices that plan as a
+// single step. The resulting heterogeneous qo_lens go through ONE
+// SimulateBatchAttention call per step (the balanced scheduler absorbs the
+// mixed query tiles; naive/fixed-split backends pay for them — Tables 6/7
+// extended to serving), GEMM time (roofline over the model's dense layers),
+// tensor-parallel all-reduce time, and host overhead are charged once per
+// mixed step, and the one plan is reused across layers exactly as the
+// paper's plan cache allows. A chunked request keeps partial-prefill
+// progress in per-request state across steps and emits its first token only
+// when its last chunk lands, so a long prompt never head-of-line-blocks the
+// running decodes. Chunking defaults on; `prefill_chunk_tokens = 0` restores
+// the legacy prefill-alone loop (whole prompts, prefill steps run with no
+// decode tokens, as in early SGLang) — pinned by equivalence tests and kept
+// as the baseline the chunked-prefill bench ablates against.
 //
-// Speculative decoding (src/spec/): with SpecDecodeConfig enabled, each
-// decode step becomes draft + verify — the draft model proposes a token tree
-// per branch, the target verifies every tree token in one batched step whose
-// attention is priced through the real tree-attention kernel path (ancestor
-// mask -> BsrFromDenseMask -> scheduler -> cost model), accepted prefixes
-// commit, and rejected tree branches roll their KV back through PagedKVCache
-// refcounts.
+// Parallel generation (the OpenAI "n" parameter, Sec. 4.4) forks n branches
+// sharing the prompt KV through the paged cache; composable backends decode
+// those groups with the two-level shared-prefix format.
+//
+// Speculative decoding (src/spec/): with SpecDecodeConfig enabled, the
+// decode half of each plan becomes draft + verify — the draft model proposes
+// a token tree per branch, the target verifies every tree token in the same
+// step (attention priced through the real tree-attention kernel path:
+// ancestor mask -> BsrFromDenseMask -> scheduler -> cost model), accepted
+// prefixes commit, and rejected tree branches roll their KV back through
+// PagedKVCache refcounts. Verify tokens coexist with in-flight prefill
+// chunks in one mixed step instead of alternating exclusively.
 //
 // The engine is *steppable*: a cluster driver (src/cluster/) owns N replicas
 // and interleaves event-driven time across them with Admit()/StepTo(), so
-// routing decisions can observe each replica's live load. Run() remains a
-// thin Reset+Admit+Drain wrapper, step-for-step identical on arrival-sorted
-// workloads (every in-repo generator). One deliberate difference: Admit()
-// keeps the queue sorted by arrival, so an unsorted workload is admitted in
-// arrival order instead of head-of-line blocking behind a late first entry
-// as the old monolithic loop did.
+// routing decisions can observe each replica's live load — including the
+// un-prefilled remainder of partially chunked requests (QueuedTokens()).
+// Run() remains a thin Reset+Admit+Drain wrapper, step-for-step identical on
+// arrival-sorted workloads (every in-repo generator); Admit() keeps the
+// queue sorted by arrival, so unsorted admission orders behave identically.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +58,19 @@
 
 namespace flashinfer::serving {
 
+/// How the batch former spends each step's prefill budget when chunking is
+/// on (`prefill_chunk_tokens > 0`).
+enum class BatchPolicy {
+  /// Cap each step's total prefill work at one chunk's worth
+  /// (min(prefill_chunk_tokens, max_prefill_tokens)): every mixed step stays
+  /// short, so running decodes see a bounded ITL hit. Default.
+  kDecodePriority,
+  /// Pack chunks from as many queued prefills as fit under
+  /// max_prefill_tokens per step: faster TTFT drain under prefill backlogs
+  /// at the cost of longer mixed steps (worse ITL tail).
+  kThroughputPriority,
+};
+
 struct EngineConfig {
   ModelSpec model;
   gpusim::DeviceSpec device;
@@ -57,6 +82,13 @@ struct EngineConfig {
   int max_running = 512;
   /// Per-step prefill token budget.
   int64_t max_prefill_tokens = 8192;
+  /// Max prompt tokens one request contributes to a single step. A longer
+  /// prompt is split into chunks that ride along with running decodes in
+  /// mixed batches. 0 restores the legacy prefill-alone loop: whole prompts,
+  /// prefill steps with no decode tokens, decodes stalling behind them.
+  int64_t prefill_chunk_tokens = 2048;
+  /// Mixed-batch formation policy (ignored when prefill_chunk_tokens == 0).
+  BatchPolicy batch_policy = BatchPolicy::kDecodePriority;
   /// NVLink all-reduce bandwidth per GPU, GB/s (tensor parallel).
   double nvlink_gbps = 450.0;
   /// Speculative decoding (off by default: vanilla one-token decode steps).
@@ -75,25 +107,28 @@ class ServingEngine {
   //
   // A step is atomic: once started it runs to completion even if it crosses
   // the caller's deadline, exactly like a launched GPU iteration that a
-  // router cannot preempt.
+  // router cannot preempt. A chunked prefill is NOT atomic across steps: its
+  // progress state persists, so a StepTo deadline can land between chunks.
 
   /// Clears all queues, clocks, and accumulated metrics.
   void Reset();
 
   /// Enqueues a request. `r.arrival_s` is honored: the request is not
   /// admitted into a batch before its arrival time. Requests may be admitted
-  /// in any order; the queue is kept sorted by arrival.
+  /// in any order; the queue is kept sorted by (arrival, id), so even
+  /// simultaneous arrivals schedule independently of the Admit() call order.
   void Admit(const Request& r);
 
   /// Simulated time at which the next step would start: the current clock if
-  /// work is runnable, the earliest pending arrival if the engine is idle,
-  /// +infinity when fully drained.
+  /// work is runnable (running branches or partially prefilled requests),
+  /// the earliest pending arrival if the engine is idle, +infinity when
+  /// fully drained.
   double NextEventTime() const noexcept;
 
   /// Executes every step whose start time is <= `deadline_s`; returns the
-  /// number of *work* steps executed (admission+prefill, decode, or spec
-  /// verify). Idle skips — jumping the clock to the next arrival — advance
-  /// time but are NOT counted; they are reported via
+  /// number of *work* steps executed (any step with prefill chunks, decode,
+  /// or spec-verify tokens). Idle skips — jumping the clock to the next
+  /// arrival — advance time but are NOT counted; they are reported via
   /// ServingMetrics::num_idle_skips / total_idle_s so tokens-per-step
   /// statistics are not diluted by waiting.
   int64_t StepTo(double deadline_s);
@@ -101,8 +136,10 @@ class ServingEngine {
   /// Runs until all admitted work has completed.
   void Drain();
 
-  /// True when no pending or running work remains.
-  bool Finished() const noexcept { return pending_.empty() && running_.empty(); }
+  /// True when no pending, prefilling, or running work remains.
+  bool Finished() const noexcept {
+    return pending_.empty() && prefilling_.empty() && running_.empty();
+  }
 
   /// Metrics accumulated since the last Reset().
   const ServingMetrics& Metrics() const noexcept { return metrics_; }
@@ -112,7 +149,9 @@ class ServingEngine {
 
   // --- Load introspection (router signals) ---------------------------------
 
-  /// Total prompt+output tokens of requests admitted but not yet prefilled.
+  /// Prompt+output tokens not yet prefilled: whole pending requests plus the
+  /// un-prefilled remainder (and full output) of partially chunked requests,
+  /// so a router sees the true backlog of a replica mid-chunk.
   int64_t QueuedTokens() const noexcept;
 
   /// Output tokens still to be decoded by running branches.
@@ -121,7 +160,9 @@ class ServingEngine {
   /// KV tokens currently charged against the budget. Vanilla engines charge
   /// tokens as they are emitted (and can therefore soft-over-commit); spec
   /// engines reserve each branch's full output at admission so multi-token
-  /// verify commits can never exhaust the fork/rollback page pool.
+  /// verify commits can never exhaust the fork/rollback page pool. Chunked
+  /// requests charge their full prompt at admission (the pages are committed
+  /// to the request even while chunks are in flight).
   int64_t KvTokensInUse() const noexcept { return kv_tokens_in_use_; }
 
   /// KV token capacity implied by the memory budget.
@@ -142,20 +183,63 @@ class ServingEngine {
     int64_t kv_len = 0;        // Current KV length (incl. shared prefix).
     int64_t remaining = 0;     // Output tokens still to emit.
     double last_emit_s = 0.0;
+    int64_t stall_steps = 0;   // Work steps survived without emitting.
     double accept_prob = 0.0;  // Spec decode: draft acceptance probability.
     int spec_seq = -1;         // Spec decode: sequence id in spec_kv_.
+  };
+
+  /// Admitted request whose prompt is (possibly partially) prefilled; lives
+  /// in prefilling_ until its last chunk lands and it becomes Branch(es).
+  struct PrefillProgress {
+    Request req;
+    int64_t computed = 0;    // Uncached prompt tokens already prefilled.
+    int64_t to_compute = 0;  // Total uncached prompt tokens.
+    int chunks_used = 0;     // Chunks scheduled so far (metrics).
+  };
+
+  /// One step's assembled work: which prefill chunks run and whether the
+  /// running branches decode (or spec-verify) alongside them.
+  struct StepPlan {
+    struct Chunk {
+      size_t prefill_idx = 0;  // Index into prefilling_.
+      int64_t tokens = 0;      // Uncached prompt tokens this step.
+      bool completes = false;  // Last chunk: emits the request's first token.
+    };
+    std::vector<Chunk> chunks;
+    bool decode = false;        // Running branches contribute tokens.
+    int64_t prefill_tokens = 0; // Sum of chunk tokens.
   };
 
   /// What one engine iteration did.
   enum class StepKind { kNone, kIdle, kWork };
 
-  /// Executes one engine iteration (admission+prefill, decode/spec-verify,
-  /// or idle skip). kNone when there is nothing left to do.
+  /// Executes one engine iteration: admission, plan formation, execution —
+  /// or an idle skip. kNone when there is nothing left to do.
   StepKind StepOnce();
 
-  /// One speculative decode step: draft tree, verify through the tree
-  /// kernels, sample acceptance, commit + roll back KV.
-  void SpecDecodeStep();
+  /// Moves arrived pending requests into prefilling_ under the KV and
+  /// max_running gates. Legacy mode (prefill_chunk_tokens == 0) additionally
+  /// applies the per-step prefill token budget here, because admission and
+  /// prefill-step formation are fused in the prefill-alone loop.
+  void AdmitArrived();
+
+  /// Assembles the next step's unified batch from prefilling_ and running_.
+  StepPlan FormStepPlan() const;
+
+  /// Prices the plan as one step (single SimulateBatchAttention over the
+  /// mixed qo_lens; GEMM/comm/host charged once), advances the clock, then
+  /// commits decode tokens, chunk progress, and prefill completions.
+  void ExecuteStepPlan(const StepPlan& plan);
+
+  /// A completed prefill emits the request's first token and materializes
+  /// its branch(es).
+  void CompletePrefill(const Request& r);
+
+  /// Vanilla decode commit: one token per running branch.
+  void CommitDecode();
+  /// Spec decode commit: sample acceptance, commit accepted+bonus tokens,
+  /// roll rejected KV back.
+  void CommitSpecDecode();
   /// KV fork/extend/rollback for one branch's verification outcome.
   void SpecCommitKv(Branch& b, int accepted, int64_t commit);
   /// Releases a finished branch's KV charge (and its spec sequence).
@@ -166,8 +250,9 @@ class ServingEngine {
   /// and draft passes alike.
   double GemmUs(const ModelSpec& m, int64_t tokens) const;
   double CommStepUs(int64_t tokens) const;
-  double AttnStepUs(const std::vector<Branch>& batch, const std::vector<int64_t>& qo_lens,
-                    bool decode) const;
+  /// Prices `in` through the backend's scheduler + cost model, one plan
+  /// reused across layers, plus the unfused-RoPE pass when configured.
+  double AttnLaunchUs(const AttnSimInput& in) const;
   double SpecVerifyAttnUs() const;
   AttnSimInput HeadGeometry() const;
 
@@ -183,6 +268,7 @@ class ServingEngine {
 
   // Steppable state (reset by Reset()).
   std::deque<Request> pending_;
+  std::deque<PrefillProgress> prefilling_;
   std::vector<Branch> running_;
   std::map<int, std::pair<int, int64_t>> group_refs_;
   ServingMetrics metrics_;

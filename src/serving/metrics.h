@@ -2,6 +2,7 @@
 // ITL (inter-token latency), reported as medians/percentiles like the paper.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -35,6 +36,29 @@ struct ServingMetrics {
   /// Simulated seconds spent idle (no running work, waiting on arrivals).
   double total_idle_s = 0.0;
 
+  // --- Chunked prefill / mixed batching (StepPlan executor). ---------------
+  /// Steps whose plan carried both prefill chunks and decode (or spec
+  /// verify) tokens — the unified batches the balanced scheduler absorbs.
+  int64_t mixed_steps = 0;
+  /// Steps that ran prefill chunks with no decode tokens: either no branch
+  /// was running, or (legacy `prefill_chunk_tokens = 0`) prefill ran alone
+  /// and every running branch stalled.
+  int64_t prefill_only_steps = 0;
+  /// Steps with decode/spec-verify tokens only (no prefill in flight).
+  int64_t decode_only_steps = 0;
+  /// Prefill chunk launches (== prefill steps when chunking is off).
+  int64_t prefill_chunks = 0;
+  /// Requests whose prompt spanned more than one chunk.
+  int64_t chunked_requests = 0;
+  /// Sum over steps of running branches that emitted no token that step
+  /// (head-of-line blocking behind a prefill-alone step).
+  int64_t itl_stall_steps = 0;
+  /// Steps during which at least one running branch stalled.
+  int64_t steps_with_stalls = 0;
+  /// Per finished branch: number of work steps it sat through without
+  /// emitting a token. All zeros once mixed batching is on.
+  std::vector<int64_t> branch_stalls;
+
   // --- Speculative decoding (populated when spec decode is enabled). -------
   /// Verify steps executed (each replaces one vanilla decode step).
   int64_t spec_steps = 0;
@@ -50,6 +74,10 @@ struct ServingMetrics {
   double MedianItlMs() const { return Median(itl_ms); }
   double P99TtftMs() const { return Percentile(ttft_ms, 0.99); }
   double P99ItlMs() const { return Percentile(itl_ms, 0.99); }
+  /// Worst single inter-token gap — the stall a user actually notices.
+  double MaxItlMs() const {
+    return itl_ms.empty() ? 0.0 : *std::max_element(itl_ms.begin(), itl_ms.end());
+  }
   /// Arbitrary-percentile helpers (p in [0,1]).
   double TtftPercentileMs(double p) const { return Percentile(ttft_ms, p); }
   double ItlPercentileMs(double p) const { return Percentile(itl_ms, p); }
@@ -60,6 +88,22 @@ struct ServingMetrics {
   double BusyMs() const {
     return total_attention_ms + total_gemm_ms + total_host_ms + total_comm_ms +
            total_draft_ms;
+  }
+
+  // --- Chunked-prefill derived metrics -------------------------------------
+  /// Fraction of work steps that batched prefill chunks with decode tokens
+  /// (mixed-batch occupancy; 0 under the legacy prefill-alone loop).
+  double MixedStepFrac() const {
+    return num_steps > 0
+               ? static_cast<double>(mixed_steps) / static_cast<double>(num_steps)
+               : 0.0;
+  }
+  /// Mean stalled steps per finished branch (steps where it emitted nothing).
+  double MeanBranchStalls() const {
+    if (branch_stalls.empty()) return 0.0;
+    int64_t total = 0;
+    for (int64_t s : branch_stalls) total += s;
+    return static_cast<double>(total) / static_cast<double>(branch_stalls.size());
   }
 
   // --- Speculative-decoding derived metrics --------------------------------

@@ -103,6 +103,39 @@ std::vector<Request> MultiTenantWorkload(Rng& rng, int num_requests, double requ
   return reqs;
 }
 
+std::vector<Request> BurstyLongPrefillWorkload(Rng& rng, const BurstyPrefillConfig& cfg) {
+  FI_CHECK_LE(cfg.steady_input_lo, cfg.steady_input_hi);
+  FI_CHECK_LE(cfg.burst_input_lo, cfg.burst_input_hi);
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<size_t>(cfg.num_steady) +
+               static_cast<size_t>(cfg.num_bursts) * cfg.burst_size);
+  double t = 0.0;
+  for (int i = 0; i < cfg.num_steady; ++i) {
+    t += rng.Exponential(cfg.steady_rate);
+    Request r;
+    r.arrival_s = t;
+    r.input_len = rng.UniformInt(cfg.steady_input_lo, cfg.steady_input_hi);
+    r.output_len = cfg.steady_output;
+    reqs.push_back(r);
+  }
+  for (int b = 0; b < cfg.num_bursts; ++b) {
+    const double when = cfg.first_burst_s + b * cfg.burst_period_s;
+    for (int i = 0; i < cfg.burst_size; ++i) {
+      Request r;
+      r.arrival_s = when;
+      r.input_len = rng.UniformInt(cfg.burst_input_lo, cfg.burst_input_hi);
+      r.output_len = cfg.burst_output;
+      r.cached_prefix_len =
+          std::min(cfg.burst_cached_prefix, std::max<int64_t>(r.input_len - 1, 0));
+      reqs.push_back(r);
+    }
+  }
+  std::stable_sort(reqs.begin(), reqs.end(),
+                   [](const Request& a, const Request& b) { return a.arrival_s < b.arrival_s; });
+  for (size_t i = 0; i < reqs.size(); ++i) reqs[i].id = static_cast<int>(i);
+  return reqs;
+}
+
 void AssignAcceptance(Rng& rng, std::vector<Request>& workload, double lo, double hi) {
   FI_CHECK_LE(lo, hi);
   for (auto& r : workload) {

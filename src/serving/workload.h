@@ -75,6 +75,36 @@ struct TenantPoolConfig {
 std::vector<Request> MultiTenantWorkload(Rng& rng, int num_requests, double request_rate,
                                          const TenantPoolConfig& cfg = {});
 
+/// Bursty long-prompt mix for the chunked-prefill experiments: steady
+/// short-prompt decode traffic (Poisson) overlaid with periodic bursts of
+/// long prompts arriving together. Under a prefill-alone engine every burst
+/// head-of-line-blocks the running decodes; chunked mixed batching absorbs
+/// the same work one chunk at a time.
+struct BurstyPrefillConfig {
+  /// Steady traffic: short prompts that keep a decode batch resident.
+  int num_steady = 200;
+  double steady_rate = 30.0;
+  int64_t steady_input_lo = 64;
+  int64_t steady_input_hi = 256;
+  int64_t steady_output = 128;
+  /// Bursts: `burst_size` long prompts arriving at the same instant, every
+  /// `burst_period_s` seconds starting at `first_burst_s`.
+  int num_bursts = 4;
+  int burst_size = 4;
+  double first_burst_s = 1.0;
+  double burst_period_s = 1.5;
+  int64_t burst_input_lo = 4096;
+  int64_t burst_input_hi = 8192;
+  int64_t burst_output = 32;
+  /// Prompt prefix already resident in the serving replica's prefix cache
+  /// for burst requests (Request::cached_prefix_len): chunking then covers
+  /// only the uncached suffix. 0 = cold cache.
+  int64_t burst_cached_prefix = 0;
+};
+
+/// Requests sorted by arrival, ids reassigned in arrival order.
+std::vector<Request> BurstyLongPrefillWorkload(Rng& rng, const BurstyPrefillConfig& cfg = {});
+
 /// Assigns every request a draft-acceptance probability drawn uniformly from
 /// [lo, hi] — the per-request acceptance model for speculative decoding
 /// (some requests are boilerplate the draft nails, some are not). Pass

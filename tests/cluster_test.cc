@@ -203,6 +203,82 @@ TEST(Cluster, BackToBackRunsAreIndependent) {
   ExpectMetricsIdentical(first.aggregate, second.aggregate);
 }
 
+// Run ≡ StepTo with chunked prefill enabled: partial-prefill progress is
+// plain steppable state, so an external step loop reproduces Run() exactly
+// even when requests are admitted in unsorted arrival order and StepTo
+// deadlines land between a long prompt's chunks.
+TEST(SteppableEngine, ChunkedRunMatchesUnsortedStepLoop) {
+  Rng rng(71);
+  serving::BurstyPrefillConfig wcfg;
+  wcfg.num_steady = 50;
+  wcfg.num_bursts = 3;
+  wcfg.burst_size = 2;
+  wcfg.burst_input_lo = 3000;  // >= 3 chunks at 1024.
+  wcfg.burst_input_hi = 6000;
+  auto workload = serving::BurstyLongPrefillWorkload(rng, wcfg);
+
+  EngineConfig cfg = BaseConfig();
+  cfg.prefill_chunk_tokens = 1024;
+  ServingEngine reference(cfg);
+  const auto run_metrics = reference.Run(workload);
+  EXPECT_GT(run_metrics.chunked_requests, 0);
+  EXPECT_GT(run_metrics.mixed_steps, 0);
+
+  // Admit in a deterministically shuffled (unsorted) order; Admit() keeps
+  // the queue arrival-sorted, so this must not change anything.
+  auto shuffled = workload;
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1],
+              shuffled[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(i) - 1))]);
+  }
+  ServingEngine stepped(cfg);
+  stepped.Reset();
+  for (const auto& r : shuffled) stepped.Admit(r);
+  // Coarse deadlines (50 ms) guaranteed to straddle multi-chunk prefills:
+  // a burst prompt needs >= 3 chunk steps of a few ms each.
+  while (!stepped.Finished()) {
+    const double next = stepped.NextEventTime();
+    ASSERT_TRUE(std::isfinite(next));
+    stepped.StepTo(next + 0.05);
+  }
+  ExpectMetricsIdentical(run_metrics, stepped.Metrics());
+  EXPECT_EQ(run_metrics.prefill_chunks, stepped.Metrics().prefill_chunks);
+  EXPECT_EQ(run_metrics.mixed_steps, stepped.Metrics().mixed_steps);
+}
+
+// Cluster aggregation covers the chunked-prefill counters: the aggregate is
+// the per-replica sum (and concatenation for branch_stalls).
+TEST(Cluster, AggregatesChunkedPrefillMetrics) {
+  Rng rng(72);
+  serving::BurstyPrefillConfig wcfg;
+  wcfg.num_steady = 60;
+  wcfg.num_bursts = 2;
+  wcfg.burst_size = 3;
+  const auto workload = serving::BurstyLongPrefillWorkload(rng, wcfg);
+
+  ClusterConfig cfg;
+  cfg.engine = BaseConfig();
+  cfg.engine.prefill_chunk_tokens = 512;
+  cfg.num_replicas = 3;
+  cfg.policy = RouterPolicy::kLeastLoaded;
+  const auto m = ClusterEngine(cfg).Run(workload);
+
+  int64_t chunks = 0, mixed = 0, stalls = 0;
+  size_t branch_stalls = 0;
+  for (const auto& r : m.per_replica) {
+    chunks += r.prefill_chunks;
+    mixed += r.mixed_steps;
+    stalls += r.itl_stall_steps;
+    branch_stalls += r.branch_stalls.size();
+  }
+  EXPECT_GT(m.aggregate.prefill_chunks, 0);
+  EXPECT_EQ(m.aggregate.prefill_chunks, chunks);
+  EXPECT_EQ(m.aggregate.mixed_steps, mixed);
+  EXPECT_EQ(m.aggregate.itl_stall_steps, stalls);
+  EXPECT_EQ(m.aggregate.branch_stalls.size(), branch_stalls);
+  EXPECT_EQ(m.aggregate.itl_stall_steps, 0);  // Chunked: no stalls anywhere.
+}
+
 TEST(Cluster, LeastLoadedBalancesBetterThanNothing) {
   Rng rng(44);
   const auto workload = serving::ShareGptWorkload(rng, 100, 40.0);

@@ -126,6 +126,173 @@ TEST(Engine, TensorParallelReducesItl) {
   EXPECT_LT(tp4.MedianItlMs(), tp1.MedianItlMs());
 }
 
+// --- Chunked prefill / mixed batching (StepPlan) -----------------------------
+
+void ExpectSameMetrics(const ServingMetrics& a, const ServingMetrics& b) {
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.num_steps, b.num_steps);
+  EXPECT_EQ(a.total_output_tokens, b.total_output_tokens);
+  EXPECT_EQ(a.total_prefill_tokens, b.total_prefill_tokens);
+  ASSERT_EQ(a.ttft_ms.size(), b.ttft_ms.size());
+  for (size_t i = 0; i < a.ttft_ms.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.ttft_ms[i], b.ttft_ms[i]) << "ttft " << i;
+  }
+  ASSERT_EQ(a.itl_ms.size(), b.itl_ms.size());
+  for (size_t i = 0; i < a.itl_ms.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.itl_ms[i], b.itl_ms[i]) << "itl " << i;
+  }
+  EXPECT_DOUBLE_EQ(a.total_attention_ms, b.total_attention_ms);
+  EXPECT_DOUBLE_EQ(a.total_gemm_ms, b.total_gemm_ms);
+  EXPECT_DOUBLE_EQ(a.total_host_ms, b.total_host_ms);
+}
+
+// With prefill and decode never overlapping (sparse arrivals: each request
+// drains before the next arrives), a chunk that covers the whole prompt
+// must reproduce the legacy prefill-alone engine step-for-step — same
+// steps, same clocks, same per-request TTFT/ITL.
+TEST(ChunkedPrefill, ChunkCoveringPromptMatchesPrefillAlone) {
+  std::vector<Request> reqs(4);
+  for (int i = 0; i < 4; ++i) {
+    reqs[i].id = i;
+    reqs[i].arrival_s = i * 10.0;  // Far apart: no prefill/decode overlap.
+    reqs[i].input_len = 700 + 100 * i;
+    reqs[i].output_len = 6;
+  }
+  auto legacy_cfg = BaseConfig();
+  legacy_cfg.prefill_chunk_tokens = 0;
+  const auto legacy = ServingEngine(legacy_cfg).Run(reqs);
+
+  for (const int64_t chunk : {int64_t{1024}, int64_t{1 << 20}}) {
+    auto cfg = BaseConfig();
+    cfg.prefill_chunk_tokens = chunk;  // >= longest prompt: one chunk each.
+    const auto chunked = ServingEngine(cfg).Run(reqs);
+    ExpectSameMetrics(legacy, chunked);
+    EXPECT_EQ(chunked.chunked_requests, 0);
+  }
+}
+
+TEST(ChunkedPrefill, LongPromptSpansChunksAndEmitsOnLastChunk) {
+  auto cfg = BaseConfig();
+  cfg.prefill_chunk_tokens = 256;
+  ServingEngine engine(cfg);
+  std::vector<Request> reqs(1);
+  reqs[0].id = 0;
+  reqs[0].input_len = 1000;  // ceil(1000/256) = 4 chunks.
+  reqs[0].output_len = 3;
+  const auto m = engine.Run(reqs);
+  EXPECT_EQ(m.prefill_chunks, 4);
+  EXPECT_EQ(m.chunked_requests, 1);
+  EXPECT_EQ(m.total_prefill_tokens, 1000);
+  EXPECT_EQ(m.total_output_tokens, 3);
+  ASSERT_EQ(m.ttft_ms.size(), 1u);
+  // First token only after the 4th chunk: TTFT covers all 4 steps while ITL
+  // gaps cover one decode step each.
+  EXPECT_GT(m.ttft_ms[0], 2.0 * m.MaxItlMs());
+  EXPECT_EQ(m.num_steps, 4 + 2);  // 4 chunk steps + 2 decode steps.
+}
+
+TEST(ChunkedPrefill, MixedBatchingRemovesDecodeStalls) {
+  // Running decodes + a long prompt arriving mid-flight: the legacy loop
+  // stalls every branch behind the prefill; mixed batching does not, and
+  // both deliver the same tokens.
+  std::vector<Request> reqs(2);
+  reqs[0] = {0, 0.0, 64, 64, 1};
+  reqs[1] = {1, 0.05, 6000, 8, 1};  // Long prompt lands mid-decode.
+
+  auto legacy_cfg = BaseConfig();
+  legacy_cfg.prefill_chunk_tokens = 0;
+  const auto legacy = ServingEngine(legacy_cfg).Run(reqs);
+  EXPECT_GT(legacy.itl_stall_steps, 0);
+  EXPECT_GT(legacy.steps_with_stalls, 0);
+  EXPECT_EQ(legacy.mixed_steps, 0);
+
+  auto cfg = BaseConfig();
+  cfg.prefill_chunk_tokens = 512;
+  const auto chunked = ServingEngine(cfg).Run(reqs);
+  EXPECT_EQ(chunked.itl_stall_steps, 0);
+  EXPECT_GT(chunked.mixed_steps, 0);
+  EXPECT_EQ(chunked.total_output_tokens, legacy.total_output_tokens);
+  // The worst inter-token gap shrinks by at least the prefill-stall factor.
+  EXPECT_LT(chunked.MaxItlMs() * 2.0, legacy.MaxItlMs());
+  // Per-branch stall counters surface through branch_stalls.
+  int64_t legacy_stalls = 0;
+  for (int64_t s : legacy.branch_stalls) legacy_stalls += s;
+  EXPECT_EQ(legacy_stalls, legacy.itl_stall_steps);
+  for (int64_t s : chunked.branch_stalls) EXPECT_EQ(s, 0);
+}
+
+TEST(ChunkedPrefill, CachedPrefixChunksOnlyUncachedSuffix) {
+  auto cfg = BaseConfig();
+  cfg.prefill_chunk_tokens = 256;
+  ServingEngine engine(cfg);
+  std::vector<Request> reqs(1);
+  reqs[0].id = 0;
+  reqs[0].input_len = 2048;
+  reqs[0].output_len = 4;
+  reqs[0].cached_prefix_len = 1500;  // Cached span exceeds the chunk size.
+  const auto m = engine.Run(reqs);
+  EXPECT_EQ(m.total_prefill_tokens, 2048 - 1500);
+  EXPECT_EQ(m.cached_prefix_tokens, 1500);
+  EXPECT_EQ(m.prefill_chunks, (548 + 255) / 256);
+  EXPECT_EQ(m.total_output_tokens, 4);
+}
+
+TEST(ChunkedPrefill, QueuedTokensCountsPartialPrefillRemainder) {
+  auto cfg = BaseConfig();
+  cfg.prefill_chunk_tokens = 256;
+  ServingEngine engine(cfg);
+  engine.Reset();
+  Request r;
+  r.id = 0;
+  r.input_len = 1024;
+  r.output_len = 16;
+  engine.Admit(r);
+  EXPECT_EQ(engine.QueuedTokens(), 1024 + 16);
+  // One step: 256 prompt tokens prefilled, request still mid-chunk — a
+  // router must still see the un-prefilled remainder plus the whole output.
+  EXPECT_EQ(engine.StepTo(engine.NextEventTime()), 1);
+  EXPECT_EQ(engine.QueuedTokens(), (1024 - 256) + 16);
+  EXPECT_FALSE(engine.Finished());
+  engine.Drain();
+  EXPECT_EQ(engine.QueuedTokens(), 0);
+  EXPECT_EQ(engine.Metrics().total_output_tokens, 16);
+}
+
+TEST(ChunkedPrefill, ThroughputPolicyPacksMoreThanDecodePriority) {
+  // Two long prompts arriving together: decode-priority spends at most one
+  // chunk's worth per step; throughput-priority packs both requests' chunks
+  // and finishes the prefill backlog in fewer steps.
+  std::vector<Request> reqs(2);
+  reqs[0] = {0, 0.0, 4096, 4, 1};
+  reqs[1] = {1, 0.0, 4096, 4, 1};
+
+  auto cfg = BaseConfig();
+  cfg.prefill_chunk_tokens = 1024;
+  cfg.batch_policy = BatchPolicy::kDecodePriority;
+  const auto dp = ServingEngine(cfg).Run(reqs);
+  cfg.batch_policy = BatchPolicy::kThroughputPriority;
+  const auto tp = ServingEngine(cfg).Run(reqs);
+
+  EXPECT_EQ(dp.total_prefill_tokens, tp.total_prefill_tokens);
+  EXPECT_LT(tp.num_steps, dp.num_steps);
+  EXPECT_LT(tp.ttft_ms[1], dp.ttft_ms[1]);  // Backlogged TTFT drains faster.
+}
+
+TEST(ChunkedPrefill, KvAccountingExactAfterDrain) {
+  auto cfg = BaseConfig();
+  cfg.prefill_chunk_tokens = 512;
+  ServingEngine engine(cfg);
+  Rng rng(23);
+  BurstyPrefillConfig wcfg;
+  wcfg.num_steady = 40;
+  wcfg.num_bursts = 2;
+  wcfg.burst_size = 2;
+  const auto m = engine.Run(BurstyLongPrefillWorkload(rng, wcfg));
+  EXPECT_EQ(engine.KvTokensInUse(), 0);
+  EXPECT_EQ(m.ttft_ms.size(), 44u);
+  EXPECT_GT(m.mixed_steps, 0);
+}
+
 TEST(Backends, PresetsDiffer) {
   EXPECT_EQ(FlashInferBackend().scheduler, SchedulerKind::kBalanced);
   EXPECT_NE(TritonBackend().scheduler, SchedulerKind::kBalanced);

@@ -358,6 +358,38 @@ TEST(SpecEngine, IdleTimeSeparatesFromBusyTime) {
   EXPECT_LT(m.BusyMs() * 1e-3, 1.0);  // Actual work is far under a second.
 }
 
+// --- Spec decode + chunked prefill -------------------------------------------
+
+// Verify steps coexist with in-flight prefill chunks in one mixed step
+// (instead of alternating exclusively), and the KV accounting still closes
+// exactly: no token charge and no structural page survives Drain().
+TEST(SpecEngine, VerifyCoexistsWithPrefillChunksAndDrainsClean) {
+  for (const int branching : {1, 2}) {
+    auto cfg = SpecConfig(3, branching, 0.6);
+    cfg.prefill_chunk_tokens = 512;
+    Rng rng(47);
+    serving::BurstyPrefillConfig wcfg;
+    wcfg.num_steady = 40;
+    wcfg.num_bursts = 2;
+    wcfg.burst_size = 2;
+    wcfg.burst_input_lo = 2048;
+    wcfg.burst_input_hi = 4096;
+    auto workload = serving::BurstyLongPrefillWorkload(rng, wcfg);
+    serving::AssignAcceptance(rng, workload, 0.4, 0.9);
+
+    ServingEngine engine(cfg);
+    const auto m = engine.Run(workload);
+    EXPECT_GT(m.mixed_steps, 0) << "branching " << branching;
+    EXPECT_GT(m.spec_steps, 0) << "branching " << branching;
+    EXPECT_EQ(m.itl_stall_steps, 0) << "branching " << branching;
+    EXPECT_EQ(engine.KvTokensInUse(), 0) << "branching " << branching;
+    EXPECT_EQ(engine.SpecKvLivePages(), 0) << "branching " << branching;
+    int64_t expect_tokens = 0;
+    for (const auto& r : workload) expect_tokens += r.output_len;
+    EXPECT_EQ(m.total_output_tokens, expect_tokens);
+  }
+}
+
 // --- Cluster with spec-enabled replicas --------------------------------------
 
 TEST(SpecCluster, SingleReplicaMatchesEngine) {
