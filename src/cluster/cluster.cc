@@ -61,6 +61,8 @@ ClusterMetrics ClusterEngine::Run(const std::vector<Request>& workload) {
       v.replica = static_cast<int>(i);
       v.queued_tokens = replicas_[i]->engine.QueuedTokens();
       v.running_tokens = replicas_[i]->engine.RunningTokens();
+      v.kv_tokens_in_use = replicas_[i]->engine.KvTokensInUse();
+      v.kv_token_budget = replicas_[i]->engine.KvTokenBudget();
       v.prefix_cache = &replicas_[i]->prefix_cache;
       views.push_back(v);
     }
@@ -108,6 +110,8 @@ ClusterMetrics ClusterEngine::Run(const std::vector<Request>& workload) {
 
     auto& agg = out.aggregate;
     agg.ttft_ms.insert(agg.ttft_ms.end(), m.ttft_ms.begin(), m.ttft_ms.end());
+    agg.ttft_priority.insert(agg.ttft_priority.end(), m.ttft_priority.begin(),
+                             m.ttft_priority.end());
     agg.itl_ms.insert(agg.itl_ms.end(), m.itl_ms.begin(), m.itl_ms.end());
     agg.total_output_tokens += m.total_output_tokens;
     agg.total_attention_ms += m.total_attention_ms;
@@ -128,6 +132,15 @@ ClusterMetrics ClusterEngine::Run(const std::vector<Request>& workload) {
     agg.steps_with_stalls += m.steps_with_stalls;
     agg.branch_stalls.insert(agg.branch_stalls.end(), m.branch_stalls.begin(),
                              m.branch_stalls.end());
+    agg.num_preemptions += m.num_preemptions;
+    agg.rejected_requests += m.rejected_requests;
+    agg.evicted_pages += m.evicted_pages;
+    agg.restored_pages += m.restored_pages;
+    agg.total_swap_ms += m.total_swap_ms;
+    agg.recompute_tokens += m.recompute_tokens;
+    agg.num_swap_restores += m.num_swap_restores;
+    agg.num_recompute_restores += m.num_recompute_restores;
+    agg.preempt_stall_steps += m.preempt_stall_steps;
     agg.spec_steps += m.spec_steps;
     agg.spec_committed_tokens += m.spec_committed_tokens;
     agg.total_draft_ms += m.total_draft_ms;

@@ -18,6 +18,16 @@ const char* RouterPolicyName(RouterPolicy policy) {
 
 namespace {
 
+/// KV tokens `r` will pin on whichever replica serves it: prompt + every
+/// parallel branch's output and per-branch decode slack (8, mirroring the
+/// engine's admission charge). Spec-enabled replicas additionally reserve a
+/// draft tree per branch, which the router cannot see — the estimate is a
+/// slight lower bound there, so headroom shedding stays heuristic.
+int64_t RequestKvTokens(const serving::Request& r) {
+  const int64_t branches = std::max(1, r.parallel_n);
+  return r.input_len + branches * (std::max<int64_t>(r.output_len, 1) + 8);
+}
+
 int LeastLoadedReplica(const std::vector<ReplicaView>& replicas) {
   int best = 0;
   int64_t best_load = std::numeric_limits<int64_t>::max();
@@ -28,6 +38,29 @@ int LeastLoadedReplica(const std::vector<ReplicaView>& replicas) {
     }
   }
   return best;
+}
+
+/// Least-loaded among replicas with KV headroom for `need`; when every
+/// replica is pressured, falls back to plain least-loaded (the request will
+/// queue or preempt wherever it lands). `pressured` reports whether the
+/// headroom filter excluded anybody.
+int LeastLoadedWithHeadroom(const std::vector<ReplicaView>& replicas, int64_t need,
+                            bool* pressured = nullptr) {
+  int best = -1;
+  int64_t best_load = std::numeric_limits<int64_t>::max();
+  bool excluded = false;
+  for (const auto& v : replicas) {
+    if (v.kv_token_budget > 0 && v.KvHeadroomTokens() < need) {
+      excluded = true;
+      continue;
+    }
+    if (v.LoadTokens() < best_load) {
+      best_load = v.LoadTokens();
+      best = v.replica;
+    }
+  }
+  if (pressured != nullptr) *pressured = excluded && best >= 0;
+  return best >= 0 ? best : LeastLoadedReplica(replicas);
 }
 
 class RoundRobinRouter final : public Router {
@@ -44,9 +77,13 @@ class RoundRobinRouter final : public Router {
 
 class LeastLoadedRouter final : public Router {
  public:
-  int Route(const serving::Request&, const std::vector<ReplicaView>& replicas) override {
+  int Route(const serving::Request& r, const std::vector<ReplicaView>& replicas) override {
     ++stats_.routed;
-    return LeastLoadedReplica(replicas);
+    bool pressured = false;
+    const int pick =
+        LeastLoadedWithHeadroom(replicas, RequestKvTokens(r), &pressured);
+    if (pressured) ++stats_.pressure_fallbacks;
+    return pick;
   }
 };
 
@@ -61,6 +98,8 @@ class PrefixAffinityRouter final : public Router {
     int best = -1;
     int64_t best_match = 0;
     int64_t best_load = std::numeric_limits<int64_t>::max();
+    int64_t best_headroom = 0;
+    bool best_has_budget = false;
     int64_t total_load = 0;
     for (const auto& v : replicas) {
       total_load += v.LoadTokens();
@@ -73,10 +112,22 @@ class PrefixAffinityRouter final : public Router {
         best = v.replica;
         best_match = matched;
         best_load = v.LoadTokens();
+        best_headroom = v.KvHeadroomTokens();
+        best_has_budget = v.kv_token_budget > 0;
       }
     }
-    if (best < 0) return LeastLoadedReplica(replicas);  // No prefix cached anywhere.
+    const int64_t need = RequestKvTokens(r);
+    if (best < 0) {
+      // No prefix cached anywhere.
+      return LeastLoadedWithHeadroom(replicas, need);
+    }
 
+    if (best_has_budget && best_headroom < need) {
+      // Affinity target is KV-pressured: routing there would queue behind
+      // (or preempt) its resident branches. Shed to a replica with room.
+      ++stats_.pressure_fallbacks;
+      return LeastLoadedWithHeadroom(replicas, need);
+    }
     const double mean_load =
         static_cast<double>(total_load) / static_cast<double>(replicas.size());
     const double cap =
@@ -85,7 +136,7 @@ class PrefixAffinityRouter final : public Router {
       // Affinity target overloaded: shed to the least-loaded replica (whose
       // cache the subsequent insert seeds, replicating the hot prefix).
       ++stats_.load_fallbacks;
-      return LeastLoadedReplica(replicas);
+      return LeastLoadedWithHeadroom(replicas, need);
     }
     ++stats_.affinity_hits;
     return best;

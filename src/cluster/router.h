@@ -49,18 +49,29 @@ struct ReplicaView {
   int64_t queued_tokens = 0;
   /// Output tokens still to decode.
   int64_t running_tokens = 0;
+  /// KV tokens charged against the replica's device budget / its capacity.
+  /// Routers use the headroom to steer new work away from KV-pressured
+  /// replicas (which would otherwise queue, preempt, or reject it).
+  int64_t kv_tokens_in_use = 0;
+  int64_t kv_token_budget = 0;
   /// Router-side mirror of the replica's prefix cache (may be null). Routers
   /// only peek (PeekPrefixTokens); the cluster driver performs the real
   /// LRU-bumping MatchPrefix on the replica that wins the request.
   const RadixTree* prefix_cache = nullptr;
 
   int64_t LoadTokens() const noexcept { return queued_tokens + running_tokens; }
+  /// Free device-KV tokens (0 when the budget is unknown or exhausted).
+  int64_t KvHeadroomTokens() const noexcept {
+    return kv_token_budget > kv_tokens_in_use ? kv_token_budget - kv_tokens_in_use
+                                              : 0;
+  }
 };
 
 struct RouterStats {
   int64_t routed = 0;           // Total routing decisions.
   int64_t affinity_hits = 0;    // Routed to a replica with a matching prefix.
   int64_t load_fallbacks = 0;   // Affinity target rejected by the imbalance cap.
+  int64_t pressure_fallbacks = 0;  // Target rejected for lacking KV headroom.
 };
 
 class Router {

@@ -5,21 +5,27 @@
 namespace flashinfer {
 
 PagedKVCache::PagedKVCache(DType dtype, int num_kv_heads, int head_dim, int page_size,
-                           int64_t max_pages)
+                           int64_t max_pages, int64_t max_host_pages)
     : dtype_(dtype),
       num_kv_heads_(num_kv_heads),
       head_dim_(head_dim),
       page_size_(page_size),
-      max_pages_(max_pages) {
+      max_pages_(max_pages),
+      max_host_pages_(max_host_pages) {
   FI_CHECK_GE(num_kv_heads, 1);
   FI_CHECK_GE(head_dim, 1);
   FI_CHECK_GE(page_size, 1);
   FI_CHECK_GE(max_pages, 1);
+  FI_CHECK_GE(max_host_pages, 0);
   elems_per_page_ = 2LL * num_kv_heads_ * page_size_ * head_dim_;
   data_.resize(static_cast<size_t>(elems_per_page_ * max_pages_ * DTypeBytes(dtype_)));
   ref_.assign(static_cast<size_t>(max_pages_), 0);
   free_list_.reserve(static_cast<size_t>(max_pages_));
   for (int64_t p = max_pages_ - 1; p >= 0; --p) free_list_.push_back(p);
+  host_data_.resize(
+      static_cast<size_t>(elems_per_page_ * max_host_pages_ * DTypeBytes(dtype_)));
+  host_free_list_.reserve(static_cast<size_t>(max_host_pages_));
+  for (int64_t p = max_host_pages_ - 1; p >= 0; --p) host_free_list_.push_back(p);
 }
 
 int64_t PagedKVCache::AllocPage() {
@@ -45,6 +51,13 @@ int PagedKVCache::RefCount(int64_t page) const {
   return ref_[static_cast<size_t>(page)];
 }
 
+int64_t PagedKVCache::AllocHostPage() {
+  FI_CHECK(!host_free_list_.empty());
+  const int64_t page = host_free_list_.back();
+  host_free_list_.pop_back();
+  return page;
+}
+
 int PagedKVCache::CreateSequence() {
   // Reuse a dead slot if any.
   for (size_t i = 0; i < seqs_.size(); ++i) {
@@ -60,6 +73,7 @@ int PagedKVCache::CreateSequence() {
 void PagedKVCache::AppendTokens(int seq, const float* k, const float* v, int64_t count) {
   auto& s = seqs_.at(static_cast<size_t>(seq));
   FI_CHECK(s.live);
+  FI_CHECK(!s.evicted);
   for (int64_t t = 0; t < count; ++t) {
     const int slot = static_cast<int>(s.length % page_size_);
     if (slot == 0) {
@@ -80,6 +94,7 @@ void PagedKVCache::AppendTokens(int seq, const float* k, const float* v, int64_t
 void PagedKVCache::AdoptPrefix(int seq, const std::vector<int64_t>& pages, int64_t token_count) {
   auto& s = seqs_.at(static_cast<size_t>(seq));
   FI_CHECK(s.live);
+  FI_CHECK(!s.evicted);
   FI_CHECK_EQ(s.length, 0);
   FI_CHECK_LE(token_count, static_cast<int64_t>(pages.size()) * page_size_);
   // Shared prefixes must end on a page boundary: a partially-filled shared
@@ -93,6 +108,7 @@ void PagedKVCache::AdoptPrefix(int seq, const std::vector<int64_t>& pages, int64
 void PagedKVCache::ExtendSequence(int seq, int64_t count) {
   auto& s = seqs_.at(static_cast<size_t>(seq));
   FI_CHECK(s.live);
+  FI_CHECK(!s.evicted);
   FI_CHECK_GE(count, 0);
   if (count > 0 && s.length % page_size_ != 0) {
     // Same exclusivity contract as AppendTokens: growing into a shared
@@ -111,6 +127,7 @@ int PagedKVCache::ForkSequence(int seq) {
   const std::vector<int64_t> parent_pages = seqs_.at(static_cast<size_t>(seq)).pages;
   const int64_t parent_len = seqs_.at(static_cast<size_t>(seq)).length;
   FI_CHECK(seqs_.at(static_cast<size_t>(seq)).live);
+  FI_CHECK(!seqs_.at(static_cast<size_t>(seq)).evicted);
 
   const int64_t full_pages = parent_len / page_size_;
   const int tail_len = static_cast<int>(parent_len % page_size_);
@@ -138,6 +155,7 @@ int PagedKVCache::ForkSequence(int seq) {
 void PagedKVCache::TruncateSequence(int seq, int64_t new_len) {
   auto& s = seqs_.at(static_cast<size_t>(seq));
   FI_CHECK(s.live);
+  FI_CHECK(!s.evicted);
   FI_CHECK_GE(new_len, 0);
   FI_CHECK_LE(new_len, s.length);
   const int64_t keep_pages = (new_len + page_size_ - 1) / page_size_;
@@ -151,8 +169,81 @@ void PagedKVCache::TruncateSequence(int seq, int64_t new_len) {
 void PagedKVCache::DropSequence(int seq) {
   auto& s = seqs_.at(static_cast<size_t>(seq));
   FI_CHECK(s.live);
-  for (int64_t p : s.pages) ReleasePage(p);
+  for (int64_t p : s.pages) {
+    if (p >= 0) ReleasePage(p);
+  }
+  for (int64_t h : s.host_slots) {
+    if (h >= 0) host_free_list_.push_back(h);
+  }
   s = Sequence{};
+}
+
+int64_t PagedKVCache::EvictSequence(int seq) {
+  auto& s = seqs_.at(static_cast<size_t>(seq));
+  FI_CHECK(s.live);
+  FI_CHECK(!s.evicted);
+  const int64_t bytes_per_elem = DTypeBytes(dtype_);
+  s.host_slots.assign(s.pages.size(), -1);
+  int64_t offloaded = 0;
+  for (size_t i = 0; i < s.pages.size(); ++i) {
+    const int64_t p = s.pages[i];
+    if (ref_[static_cast<size_t>(p)] > 1) continue;  // Shared: stays resident.
+    const int64_t h = AllocHostPage();
+    std::copy_n(data_.begin() + p * elems_per_page_ * bytes_per_elem,
+                elems_per_page_ * bytes_per_elem,
+                host_data_.begin() + h * elems_per_page_ * bytes_per_elem);
+    ReleasePage(p);
+    s.pages[i] = -1;
+    s.host_slots[i] = h;
+    ++offloaded;
+  }
+  s.evicted = true;
+  return offloaded;
+}
+
+int64_t PagedKVCache::RestoreSequence(int seq) {
+  auto& s = seqs_.at(static_cast<size_t>(seq));
+  FI_CHECK(s.live);
+  FI_CHECK(s.evicted);
+  const int64_t bytes_per_elem = DTypeBytes(dtype_);
+  int64_t restored = 0;
+  for (size_t i = 0; i < s.pages.size(); ++i) {
+    const int64_t h = s.host_slots[i];
+    if (h < 0) continue;  // Stayed resident (shared page).
+    const int64_t p = AllocPage();
+    std::copy_n(host_data_.begin() + h * elems_per_page_ * bytes_per_elem,
+                elems_per_page_ * bytes_per_elem,
+                data_.begin() + p * elems_per_page_ * bytes_per_elem);
+    host_free_list_.push_back(h);
+    s.pages[i] = p;
+    ++restored;
+  }
+  s.host_slots.clear();
+  s.evicted = false;
+  return restored;
+}
+
+bool PagedKVCache::IsEvicted(int seq) const {
+  return seqs_.at(static_cast<size_t>(seq)).evicted;
+}
+
+int64_t PagedKVCache::ExclusivePages(int seq) const {
+  const auto& s = seqs_.at(static_cast<size_t>(seq));
+  FI_CHECK(s.live);
+  int64_t n = 0;
+  for (int64_t p : s.pages) {
+    if (p >= 0 && ref_[static_cast<size_t>(p)] == 1) ++n;
+  }
+  return n;
+}
+
+int64_t PagedKVCache::HostPagesHeld(int seq) const {
+  const auto& s = seqs_.at(static_cast<size_t>(seq));
+  int64_t n = 0;
+  for (int64_t h : s.host_slots) {
+    if (h >= 0) ++n;
+  }
+  return n;
 }
 
 int64_t PagedKVCache::SequenceLength(int seq) const {
@@ -173,6 +264,7 @@ int PagedKVCache::LastPageLen(int seq) const {
 sparse::RequestKv PagedKVCache::ExportKv(int seq, int64_t pos_offset) const {
   const auto& s = seqs_.at(static_cast<size_t>(seq));
   FI_CHECK(s.live);
+  FI_CHECK(!s.evicted);
   sparse::RequestKv kv;
   kv.pages = s.pages;
   kv.last_page_len = LastPageLen(seq);

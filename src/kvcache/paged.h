@@ -6,6 +6,17 @@
 // head dimension contiguous (mirrors the coalesced 128B loads of Sec. 3.2.1).
 // Pages are reference-counted so radix-tree prefix sharing (kvcache/radix.h)
 // and parallel generation can alias pages across sequences without copies.
+//
+// Two-tier operation (KV pressure / preemption, cf. "LLM in a flash"): the
+// cache optionally owns a second, host-memory page pool. EvictSequence moves
+// a sequence's *exclusively owned* pages (refcount 1) to the host tier and
+// frees their device pages; pages shared with another live holder stay
+// resident under the evicted sequence's refcount — eviction never breaks
+// sharing, and a shared page could not have been freed anyway. An evicted
+// sequence is frozen (no append/fork/truncate/export) until RestoreSequence
+// swaps its host pages back into freshly allocated device pages. Restore by
+// *recompute* needs no cache support: the owner drops the sequence outright
+// and rebuilds it through the prefill path.
 #pragma once
 
 #include <cstdint>
@@ -19,7 +30,9 @@ namespace flashinfer {
 
 class PagedKVCache {
  public:
-  PagedKVCache(DType dtype, int num_kv_heads, int head_dim, int page_size, int64_t max_pages);
+  /// `max_host_pages` sizes the host (offload) tier; 0 disables eviction.
+  PagedKVCache(DType dtype, int num_kv_heads, int head_dim, int page_size, int64_t max_pages,
+               int64_t max_host_pages = 0);
 
   DType dtype() const noexcept { return dtype_; }
   int num_kv_heads() const noexcept { return num_kv_heads_; }
@@ -28,6 +41,13 @@ class PagedKVCache {
   int64_t max_pages() const noexcept { return max_pages_; }
   int64_t num_free_pages() const noexcept { return static_cast<int64_t>(free_list_.size()); }
   int64_t num_live_pages() const noexcept { return max_pages_ - num_free_pages(); }
+  int64_t max_host_pages() const noexcept { return max_host_pages_; }
+  int64_t num_free_host_pages() const noexcept {
+    return static_cast<int64_t>(host_free_list_.size());
+  }
+  int64_t num_live_host_pages() const noexcept {
+    return max_host_pages_ - num_free_host_pages();
+  }
 
   /// Allocates a page with refcount 1. Aborts when the pool is exhausted
   /// (serving engines must check num_free_pages and evict first).
@@ -66,6 +86,25 @@ class PagedKVCache {
   /// this; shared pages survive under their other holders' refcounts.
   void TruncateSequence(int seq, int64_t new_len);
 
+  // --- Two-tier eviction / restore (preemption under KV pressure) ---------
+  /// Moves the sequence's exclusively owned pages (refcount 1) to the host
+  /// tier and frees their device pages; pages shared with another holder
+  /// stay resident under this sequence's refcount (sharing survives). The
+  /// sequence is frozen until RestoreSequence. Returns the number of pages
+  /// offloaded to host. Aborts if the host pool cannot hold them — callers
+  /// gate on ExclusivePages()/num_free_host_pages() (or drop + recompute).
+  int64_t EvictSequence(int seq);
+  /// Swaps an evicted sequence's host pages back into freshly allocated
+  /// device pages (callers gate on num_free_pages) and unfreezes it.
+  /// Returns the number of pages swapped in.
+  int64_t RestoreSequence(int seq);
+  bool IsEvicted(int seq) const;
+  /// Pages EvictSequence would offload right now (refcount-1 pages): the
+  /// host-tier space a swap-out needs and the device pages it would free.
+  int64_t ExclusivePages(int seq) const;
+  /// Host pages currently holding this (evicted) sequence's KV.
+  int64_t HostPagesHeld(int seq) const;
+
   int64_t SequenceLength(int seq) const;
   const std::vector<int64_t>& SequencePages(int seq) const;
   int LastPageLen(int seq) const;
@@ -100,6 +139,12 @@ class PagedKVCache {
     std::vector<int64_t> pages;
     int64_t length = 0;
     bool live = false;
+    bool evicted = false;
+    /// Parallel to `pages` while evicted: host page holding slot i's KV, or
+    /// -1 when the device page stayed resident (shared with another holder;
+    /// `pages[i]` keeps the refcounted device page in that case, and is -1
+    /// where the KV moved to host).
+    std::vector<int64_t> host_slots;
   };
 
   int64_t KOffset(int64_t page, int head, int slot) const noexcept {
@@ -114,15 +159,19 @@ class PagedKVCache {
   }
   float LoadElem(int64_t elem_offset) const noexcept;
   void StoreElem(int64_t elem_offset, float v) noexcept;
+  int64_t AllocHostPage();
 
   DType dtype_;
   int num_kv_heads_;
   int head_dim_;
   int page_size_;
   int64_t max_pages_;
+  int64_t max_host_pages_ = 0;
   int64_t elems_per_page_;
   std::vector<std::byte> data_;
+  std::vector<std::byte> host_data_;
   std::vector<int64_t> free_list_;
+  std::vector<int64_t> host_free_list_;
   std::vector<int32_t> ref_;
   std::vector<Sequence> seqs_;
 };

@@ -30,6 +30,12 @@ ServingEngine::ServingEngine(EngineConfig cfg)
   FI_CHECK_GT(kv_budget_bytes, 0.0);
   kv_token_budget_ = static_cast<int64_t>(
       kv_budget_bytes / cfg_.model.KvBytesPerToken(cfg_.backend.kv_dtype));
+  if (cfg_.preemption.enabled) {
+    FI_CHECK_GT(cfg_.preemption.swap_gbps, 0.0);
+    host_kv_token_budget_ = static_cast<int64_t>(
+        cfg_.preemption.host_capacity_gb * 1e9 /
+        cfg_.model.KvBytesPerToken(cfg_.backend.kv_dtype));
+  }
   if (cfg_.spec.enabled) {
     tree_ = std::make_unique<spec::DraftTree>(cfg_.spec.tree);
     // Reserve one tree of transient verify KV per branch on top of the
@@ -115,21 +121,34 @@ void ServingEngine::Reset() {
   pending_.clear();
   prefilling_.clear();
   running_.clear();
+  preempted_.clear();
   group_refs_.clear();
   metrics_ = ServingMetrics{};
   now_s_ = 0.0;
   kv_tokens_in_use_ = 0;
+  host_kv_tokens_in_use_ = 0;
+  pending_swap_us_ = 0.0;
+  next_preempt_order_ = 0;
   next_group_ = 0;
   rng_ = Rng(cfg_.spec.seed);
-  if (cfg_.spec.enabled) {
-    metrics_.accepted_len_hist.assign(static_cast<size_t>(tree_->Depth()) + 1, 0);
+  if (cfg_.spec.enabled || cfg_.preemption.enabled) {
+    if (cfg_.spec.enabled) {
+      metrics_.accepted_len_hist.assign(static_cast<size_t>(tree_->Depth()) + 1, 0);
+    }
     // Structural cache: 1 head x 1 dim (page accounting, not values). Sized
-    // for the token budget plus page-rounding and transient-fork headroom.
-    const int64_t pages =
-        kv_token_budget_ / cfg_.page_size +
-        static_cast<int64_t>(cfg_.max_running) * (2 + cfg_.spec.tree.branching) + 64;
+    // for the token budget plus page-rounding and transient-fork headroom;
+    // the host tier holds its own budget plus per-branch page rounding.
+    const int64_t branching = cfg_.spec.enabled ? cfg_.spec.tree.branching : 0;
+    const int64_t pages = kv_token_budget_ / cfg_.page_size +
+                          static_cast<int64_t>(cfg_.max_running) * (2 + branching) + 64;
+    const int64_t host_pages =
+        cfg_.preemption.enabled
+            ? host_kv_token_budget_ / cfg_.page_size +
+                  static_cast<int64_t>(cfg_.max_running) * 2 + 64
+            : 0;
     spec_kv_ = std::make_unique<PagedKVCache>(DType::kF16, /*num_kv_heads=*/1,
-                                              /*head_dim=*/1, cfg_.page_size, pages);
+                                              /*head_dim=*/1, cfg_.page_size, pages,
+                                              host_pages);
   }
 }
 
@@ -147,7 +166,10 @@ void ServingEngine::Admit(const Request& r) {
 }
 
 double ServingEngine::NextEventTime() const noexcept {
-  if (!running_.empty() || !prefilling_.empty()) return now_s_;
+  // Preempted branches are runnable now: the next step's admission pass
+  // restores them as soon as budget frees (and if nothing else is live, the
+  // budget IS free).
+  if (!running_.empty() || !prefilling_.empty() || !preempted_.empty()) return now_s_;
   if (!pending_.empty()) return std::max(now_s_, pending_.front().arrival_s);
   return std::numeric_limits<double>::infinity();
 }
@@ -171,9 +193,16 @@ int64_t ServingEngine::QueuedTokens() const noexcept {
   }
   // Partially prefilled requests still owe their un-prefilled remainder and
   // their whole output — a router must see that backlog, not just pending_.
+  // (Restore entries count the same way: their synthetic req carries the
+  // context left to rebuild and the branch's remaining output.)
   for (const auto& p : prefilling_) {
     total += (p.to_compute - p.computed) +
              p.req.output_len * std::max(1, p.req.parallel_n);
+  }
+  // Preempted branches owe their remaining output plus, for recompute
+  // restores, the whole context rebuild.
+  for (const auto& p : preempted_) {
+    total += p.branch.remaining + (p.swapped ? 0 : p.branch.kv_len);
   }
   return total;
 }
@@ -205,7 +234,49 @@ void ServingEngine::FinishBranch(const Branch& b) {
   metrics_.branch_stalls.push_back(b.stall_steps);
 }
 
+int64_t ServingEngine::KvNeed(const Request& r) const noexcept {
+  // Spec decode and preemption reserve every branch's full output KV at
+  // admission: verify steps commit several tokens at once with no per-token
+  // budget gate, and the preemption invariant (device budget never violated)
+  // cannot tolerate decode-time over-commit. Reserving up front trades
+  // admission aggressiveness for a guarantee that the structural page pool
+  // can never run out mid-run.
+  const int64_t full_out =
+      FullKvReserve() ? r.parallel_n * std::max<int64_t>(r.output_len, 1) : 0;
+  return r.input_len + r.parallel_n * slack_tokens_ + full_out;
+}
+
+double ServingEngine::SwapUs(int64_t tokens) const {
+  const double bytes = static_cast<double>(tokens) *
+                       cfg_.model.KvBytesPerToken(cfg_.backend.kv_dtype);
+  const double pages = std::ceil(static_cast<double>(tokens) / cfg_.page_size);
+  return cfg_.preemption.swap_latency_us +
+         pages * cfg_.preemption.swap_page_overhead_us +
+         bytes / (cfg_.preemption.swap_gbps * 1e3);
+}
+
+double ServingEngine::RecomputeEstimateUs(int64_t kv_len) const {
+  // Marginal GEMM: the chunks ride along steps that stream the weights
+  // anyway, so each chunk's free allowance is the weight-streaming floor
+  // (GemmUs(0) tokens) it shares. Above that, prefill is compute-bound.
+  const int64_t chunk = cfg_.prefill_chunk_tokens > 0
+                            ? std::min(cfg_.prefill_chunk_tokens, cfg_.max_prefill_tokens)
+                            : kv_len;
+  const int64_t nchunks = std::max<int64_t>(1, (kv_len + chunk - 1) / std::max<int64_t>(chunk, 1));
+  const double compute_us =
+      cfg_.model.GemmFlopsPerToken() * static_cast<double>(kv_len) /
+      cfg_.model.tensor_parallel /
+      (cfg_.device.fp16_tflops * cfg_.backend.gemm_eff * 1e6);
+  const double floor_us = GemmUs(cfg_.model, 0) * static_cast<double>(nchunks);
+  // One pass over the rebuilt KV for the chunks' attention reads.
+  const double attn_us =
+      static_cast<double>(kv_len) * cfg_.model.KvBytesPerToken(cfg_.backend.kv_dtype) /
+      (cfg_.device.hbm_gbps * 0.85 * 1e3);
+  return std::max(0.0, compute_us - floor_us) + attn_us;
+}
+
 void ServingEngine::AdmitArrived() {
+  RestorePreempted();
   const bool legacy = cfg_.prefill_chunk_tokens == 0;
   // Legacy prefill-alone fuses admission with prefill-step formation: this
   // step prefills exactly what it admits, so the per-step token budget gates
@@ -223,16 +294,28 @@ void ServingEngine::AdmitArrived() {
         step_tokens + new_tokens > cfg_.max_prefill_tokens) {
       break;
     }
-    // Spec decode additionally reserves every branch's full output KV at
-    // admission: verify steps commit several tokens at once with no
-    // per-token budget gate, so the vanilla engine's soft over-commit would
-    // become a hard structural-pool exhaustion mid-run. Reserving up front
-    // trades admission aggressiveness for a guarantee that the fork/rollback
-    // cache can never run out of pages.
-    const int64_t spec_out =
-        cfg_.spec.enabled ? r.parallel_n * std::max<int64_t>(r.output_len, 1) : 0;
-    const int64_t need = r.input_len + r.parallel_n * slack_tokens_ + spec_out;
-    if (kv_tokens_in_use_ + need > kv_token_budget_) break;
+    const int64_t need = KvNeed(r);
+    if (need > kv_token_budget_) {
+      // This request could never run, even on an empty engine: admitting it
+      // would wedge the queue forever (the pre-preemption engine aborted on
+      // an FI_CHECK when this state was reached). Refuse it and move on.
+      ++metrics_.rejected_requests;
+      pending_.pop_front();
+      continue;
+    }
+    if (!preempted_.empty() && r.priority <= preempted_.front().branch.priority) {
+      // Anti-starvation: an evicted branch outranks (or ties) this arrival
+      // and is still waiting for capacity. Admitting the newcomer into every
+      // freed increment would starve the victim forever — freed capacity
+      // drains to the restore queue first; only a strictly higher-priority
+      // arrival may jump it (and preempt for room).
+      break;
+    }
+    if (kv_tokens_in_use_ + need > kv_token_budget_) {
+      // Preempt-or-queue: evict strictly-lower-priority running branches if
+      // that makes room; otherwise the request waits (FIFO) for capacity.
+      if (!cfg_.preemption.enabled || !TryPreemptFor(r, need)) break;
+    }
     kv_tokens_in_use_ += need;
     step_tokens += new_tokens;
     ++admitted;
@@ -242,6 +325,145 @@ void ServingEngine::AdmitArrived() {
     prefilling_.push_back(std::move(p));
     pending_.pop_front();
   }
+}
+
+void ServingEngine::RestorePreempted() {
+  // preempted_ is kept sorted by (priority desc, eviction order): the most
+  // important victim re-enters first. Head-blocking within the deque is
+  // deliberate — restoring a cheaper, lower-priority victim over a blocked
+  // higher-priority one would invert the policy the evictions enforced.
+  while (!preempted_.empty() &&
+         static_cast<int>(running_.size() + prefilling_.size()) < cfg_.max_running) {
+    Preempted& p = preempted_.front();
+    if (kv_tokens_in_use_ + p.reserve > kv_token_budget_) break;
+    kv_tokens_in_use_ += p.reserve;
+    Branch b = p.branch;
+    PrefillProgress pp;
+    pp.restore = true;
+    pp.branch = b;
+    pp.req.id = b.request_id;
+    pp.req.arrival_s = now_s_;
+    pp.req.output_len = b.remaining;
+    pp.req.priority = b.priority;
+    if (p.swapped) {
+      // Swap-in: the PCIe transfer serializes into the next executed step,
+      // and the branch rides that step as a zero-token transfer chunk — it
+      // cannot decode while its KV is still in flight. The structural pages
+      // come back when the transfer completes.
+      host_kv_tokens_in_use_ -= b.kv_len;
+      const double t_us = SwapUs(b.kv_len);
+      pending_swap_us_ += t_us;
+      metrics_.total_swap_ms += t_us * 1e-3;
+      ++metrics_.num_swap_restores;
+      pp.swap_restore = true;
+      pp.req.input_len = 0;
+      pp.to_compute = 0;
+    } else {
+      // Recompute: the whole context (prompt + generated tokens) re-enters
+      // the chunked-prefill path as a synthetic request; the branch resumes
+      // once the last chunk lands.
+      ++metrics_.num_recompute_restores;
+      pp.req.input_len = b.kv_len;
+      pp.to_compute = b.kv_len;
+    }
+    prefilling_.push_back(std::move(pp));
+    preempted_.pop_front();
+  }
+}
+
+bool ServingEngine::TryPreemptFor(const Request& r, int64_t need) {
+  // Reclaimable KV across eligible victims: strictly lower priority,
+  // non-grouped (parallel-n siblings share prefix KV and are never evicted).
+  int64_t reclaimable = 0;
+  for (const auto& b : running_) {
+    if (b.priority < r.priority && b.group < 0) {
+      reclaimable += b.kv_len + b.remaining + slack_tokens_;
+    }
+  }
+  if (kv_tokens_in_use_ - reclaimable + need > kv_token_budget_) return false;
+  while (kv_tokens_in_use_ + need > kv_token_budget_) {
+    // Victim: lowest priority, then youngest (latest arrival, then highest
+    // id — the branch that has the least sunk service time to protect).
+    int victim = -1;
+    for (size_t i = 0; i < running_.size(); ++i) {
+      const Branch& b = running_[i];
+      if (b.priority >= r.priority || b.group >= 0) continue;
+      if (victim < 0) {
+        victim = static_cast<int>(i);
+        continue;
+      }
+      const Branch& v = running_[static_cast<size_t>(victim)];
+      if (b.priority != v.priority ? b.priority < v.priority
+          : b.arrival_s != v.arrival_s ? b.arrival_s > v.arrival_s
+                                       : b.request_id > v.request_id) {
+        victim = static_cast<int>(i);
+      }
+    }
+    FI_CHECK_GE(victim, 0);  // Guaranteed by the reclaimable pre-check.
+    PreemptBranch(static_cast<size_t>(victim));
+  }
+  return true;
+}
+
+void ServingEngine::PreemptBranch(size_t running_idx) {
+  Branch b = running_[running_idx];
+  running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(running_idx));
+  // Full-reservation invariant: the branch holds its admission charge
+  // input + slack + output == kv_len + remaining + slack.
+  const int64_t reserve = b.kv_len + b.remaining + slack_tokens_;
+  kv_tokens_in_use_ -= reserve;
+  ++metrics_.num_preemptions;
+  metrics_.evicted_pages += (b.kv_len + cfg_.page_size - 1) / cfg_.page_size;
+
+  // Swap vs recompute, decided at eviction time (the host copy either exists
+  // later or it does not): swap pays two transfers + latency; recompute pays
+  // marginal prefill. Host-tier exhaustion forces recompute.
+  bool swap = false;
+  switch (cfg_.preemption.restore) {
+    case RestorePolicy::kSwap: swap = true; break;
+    case RestorePolicy::kRecompute: swap = false; break;
+    case RestorePolicy::kAuto:
+      swap = 2.0 * SwapUs(b.kv_len) < RecomputeEstimateUs(b.kv_len);
+      break;
+  }
+  if (swap && host_kv_tokens_in_use_ + b.kv_len > host_kv_token_budget_) swap = false;
+  // Page-granular gate: many short evicted branches can exhaust the host
+  // *page* pool (one page each) long before the token budget — per the
+  // PagedKVCache contract, gate on num_free_host_pages before evicting.
+  if (swap && spec_kv_ && b.spec_seq >= 0 &&
+      spec_kv_->num_free_host_pages() < spec_kv_->ExclusivePages(b.spec_seq)) {
+    swap = false;
+  }
+
+  Preempted p;
+  p.swapped = swap;
+  p.reserve = reserve;
+  p.order = next_preempt_order_++;
+  if (swap) {
+    host_kv_tokens_in_use_ += b.kv_len;
+    const double t_us = SwapUs(b.kv_len);
+    pending_swap_us_ += t_us;  // Swap-out serializes into the next step.
+    metrics_.total_swap_ms += t_us * 1e-3;
+    if (spec_kv_ && b.spec_seq >= 0) spec_kv_->EvictSequence(b.spec_seq);
+  } else if (spec_kv_ && b.spec_seq >= 0) {
+    // Dropped for recompute: the structural pages free immediately; a fresh
+    // sequence is rebuilt when the recompute restore completes.
+    spec_kv_->DropSequence(b.spec_seq);
+    b.spec_seq = -1;
+  }
+  p.branch = b;
+  // Keep preempted_ sorted by (priority desc, eviction order asc).
+  auto it = std::upper_bound(preempted_.begin(), preempted_.end(), p,
+                             [](const Preempted& a, const Preempted& x) {
+                               return a.branch.priority != x.branch.priority
+                                          ? a.branch.priority > x.branch.priority
+                                          : a.order < x.order;
+                             });
+  preempted_.insert(it, std::move(p));
+}
+
+void ServingEngine::ResumeBranch(const Branch& b) {
+  running_.push_back(b);
 }
 
 ServingEngine::StepPlan ServingEngine::FormStepPlan() const {
@@ -282,13 +504,19 @@ ServingEngine::StepKind ServingEngine::StepOnce() {
   if (Finished()) return StepKind::kNone;
 
   AdmitArrived();
+  // Admission may have *rejected* the only remaining work (a request whose
+  // KV need exceeds the total budget): the engine can finish right here.
+  if (Finished()) return StepKind::kNone;
   const StepPlan plan = FormStepPlan();
 
   if (plan.chunks.empty() && !plan.decode) {
-    // Idle: jump to the next arrival. If the head request has already
-    // arrived, admission failed with an empty engine — its KV need alone
-    // exceeds the budget and no amount of time helps; fail loudly instead
-    // of spinning.
+    // Idle: jump to the next arrival. An arrived head request can no longer
+    // strand us here: AdmitArrived rejects requests whose KV need exceeds
+    // the total budget (the old wedge this FI_CHECK used to trip on) and
+    // preempts or queues the rest, and preempted branches restore whenever
+    // the budget is free — so an empty plan means every queue but pending_
+    // is empty and the head is genuinely in the future.
+    FI_CHECK(preempted_.empty());
     FI_CHECK(!pending_.empty());
     FI_CHECK_GT(pending_.front().arrival_s, now_s_);
     const double skip_s = pending_.front().arrival_s - now_s_;
@@ -339,6 +567,7 @@ void ServingEngine::ExecuteStepPlan(const StepPlan& plan) {
     // distinct HBM addresses — no L2 dedup credit for the single format.
   }
   for (const auto& c : plan.chunks) {
+    if (c.tokens == 0) continue;  // Swap-in transfer chunk: no attention rows.
     const auto& p = prefilling_[c.prefill_idx];
     // A chunk's query covers its new prompt tokens while KV spans everything
     // prefilled so far (cached prefix + earlier chunks + this chunk) —
@@ -378,7 +607,13 @@ void ServingEngine::ExecuteStepPlan(const StepPlan& plan) {
            : cfg_.model.num_layers * 2.0);
   const double gemm_us = GemmUs(cfg_.model, step_tokens);
   const double comm_us = CommStepUs(step_tokens);
-  const double step_s = (draft_us + host_us + gemm_us + attn_us + comm_us) * 1e-6;
+  // Swap transfers (preemption evictions/restores decided at admission)
+  // serialize into this step: conservative — a real engine overlaps DMA
+  // with compute, but the PCIe time is charged where it was incurred.
+  const double swap_us = pending_swap_us_;
+  pending_swap_us_ = 0.0;
+  const double step_s =
+      (draft_us + host_us + gemm_us + attn_us + comm_us + swap_us) * 1e-6;
   now_s_ += step_s;
 
   if (std::getenv("FI_DEBUG_ATTN") != nullptr) {
@@ -402,7 +637,9 @@ void ServingEngine::ExecuteStepPlan(const StepPlan& plan) {
   } else {
     ++metrics_.decode_only_steps;
   }
-  metrics_.prefill_chunks += static_cast<int64_t>(plan.chunks.size());
+  for (const auto& c : plan.chunks) {
+    if (c.tokens > 0) ++metrics_.prefill_chunks;  // Transfer chunks excluded.
+  }
 
   // --- Stall accounting: running branches shut out of a prefill-alone step
   // emitted nothing — the head-of-line blocking chunked batching removes.
@@ -411,6 +648,8 @@ void ServingEngine::ExecuteStepPlan(const StepPlan& plan) {
     metrics_.itl_stall_steps += static_cast<int64_t>(running_.size());
     ++metrics_.steps_with_stalls;
   }
+  // Preempted branches sat this work step out entirely.
+  metrics_.preempt_stall_steps += static_cast<int64_t>(preempted_.size());
 
   // --- Decode commit. ------------------------------------------------------
   if (plan.decode) {
@@ -426,15 +665,37 @@ void ServingEngine::ExecuteStepPlan(const StepPlan& plan) {
     auto& p = prefilling_[c.prefill_idx];
     p.computed += c.tokens;
     ++p.chunks_used;
-    metrics_.total_prefill_tokens += c.tokens;
+    if (p.restore) {
+      metrics_.recompute_tokens += c.tokens;
+    } else {
+      metrics_.total_prefill_tokens += c.tokens;
+    }
   }
   std::vector<size_t> done;
   for (const auto& c : plan.chunks) {
     if (!c.completes) continue;
     auto& p = prefilling_[c.prefill_idx];
     FI_CHECK_EQ(p.computed, p.to_compute);
-    if (p.chunks_used > 1) ++metrics_.chunked_requests;
-    CompletePrefill(p.req);
+    if (p.restore) {
+      // Restore finished: re-materialize the structural KV — swap-ins pull
+      // their pages back from the host tier, recomputes rebuild a fresh
+      // sequence to the branch's context length — and put the branch back
+      // in the decode batch. No first-token emission: the request's TTFT
+      // was paid long ago.
+      Branch b = p.branch;
+      if (spec_kv_) {
+        if (p.swap_restore && b.spec_seq >= 0) {
+          metrics_.restored_pages += spec_kv_->RestoreSequence(b.spec_seq);
+        } else {
+          b.spec_seq = spec_kv_->CreateSequence();
+          spec_kv_->ExtendSequence(b.spec_seq, b.kv_len);
+        }
+      }
+      ResumeBranch(b);
+    } else {
+      if (p.chunks_used > 1) ++metrics_.chunked_requests;
+      CompletePrefill(p.req);
+    }
     done.push_back(c.prefill_idx);
   }
   // Completed entries are not necessarily a prefix of prefilling_ (a huge
@@ -449,6 +710,7 @@ void ServingEngine::ExecuteStepPlan(const StepPlan& plan) {
 void ServingEngine::CompletePrefill(const Request& r) {
   // The request's first token is produced by its last chunk.
   metrics_.ttft_ms.push_back((now_s_ - r.arrival_s) * 1e3);
+  metrics_.ttft_priority.push_back(r.priority);
   ++metrics_.total_output_tokens;
   metrics_.cached_prefix_tokens += CachedTokens(r);
   const int group = r.parallel_n > 1 ? next_group_++ : -1;
@@ -468,6 +730,8 @@ void ServingEngine::CompletePrefill(const Request& r) {
     b.kv_len = r.input_len + 1;
     b.remaining = std::max<int64_t>(r.output_len - 1, 0);
     b.last_emit_s = now_s_;
+    b.priority = r.priority;
+    b.arrival_s = r.arrival_s;
     if (spec_kv_) {
       b.accept_prob =
           r.accept_prob >= 0.0 ? r.accept_prob : cfg_.spec.default_accept_prob;
@@ -480,9 +744,9 @@ void ServingEngine::CompletePrefill(const Request& r) {
       }
     }
     running_.push_back(b);
-    // Spec engines charged the whole output at admission; vanilla charges
-    // tokens as they are emitted.
-    if (!cfg_.spec.enabled) kv_tokens_in_use_ += 1;
+    // Full-reserve engines (spec, preemption) charged the whole output at
+    // admission; vanilla charges tokens as they are emitted.
+    if (!FullKvReserve()) kv_tokens_in_use_ += 1;
     // A zero-remaining branch never reaches a decode step; settle its charge
     // now (vanilla decode releases via the decode loop, but spec prefill
     // must not leave its sequence behind).
@@ -500,8 +764,11 @@ void ServingEngine::CommitDecode() {
   for (auto& b : running_) {
     metrics_.itl_ms.push_back((now_s_ - b.last_emit_s) * 1e3);
     b.last_emit_s = now_s_;
+    // Preemption-enabled engines track the decode structurally too, so an
+    // eviction swaps exactly the pages this branch's KV occupies.
+    if (spec_kv_ && b.spec_seq >= 0) spec_kv_->ExtendSequence(b.spec_seq, 1);
     b.kv_len += 1;
-    kv_tokens_in_use_ += 1;
+    if (!FullKvReserve()) kv_tokens_in_use_ += 1;
     ++metrics_.total_output_tokens;
     b.remaining -= 1;
     if (b.remaining > 0) {

@@ -32,6 +32,20 @@
 // PagedKVCache refcounts. Verify tokens coexist with in-flight prefill
 // chunks in one mixed step instead of alternating exclusively.
 //
+// KV pressure (src/kvcache/ two-tier pool): with PreemptionConfig enabled,
+// an arrived request that does not fit the device KV budget preempts running
+// branches of strictly lower priority (lowest first, then youngest) instead
+// of queuing behind them. A victim's KV either swaps to a host-memory tier
+// (PCIe transfer charged into the steps it serializes with) or is dropped
+// and later *recomputed* through the chunked-prefill path — chosen per
+// victim by a cost estimate whose crossover the kv-pressure bench sweeps:
+// short contexts recompute nearly free under the weight-streaming floor,
+// long contexts are compute-bound and swap wins. Admission reserves each
+// branch's full output KV up front under preemption, so the device budget
+// is never violated; a request whose KV need exceeds the *total* budget is
+// rejected with a metric (the pre-preemption engine aborted on a loud
+// FI_CHECK when such a request wedged the arrival queue).
+//
 // The engine is *steppable*: a cluster driver (src/cluster/) owns N replicas
 // and interleaves event-driven time across them with Admit()/StepTo(), so
 // routing decisions can observe each replica's live load — including the
@@ -71,6 +85,44 @@ enum class BatchPolicy {
   kThroughputPriority,
 };
 
+/// How a preempted branch's KV context is rebuilt when it re-enters.
+enum class RestorePolicy {
+  /// Always swap the host copy back over the simulated PCIe link.
+  kSwap,
+  /// Always drop the KV at eviction and re-prefill the whole context
+  /// (prompt + generated tokens) through the chunked-prefill path.
+  kRecompute,
+  /// Per victim, pick whichever the cost model estimates cheaper: swap time
+  /// (two transfers + fixed latency) vs the *marginal* recompute time —
+  /// chunk GEMM rides under the weight-streaming floor the step pays
+  /// anyway, so short contexts recompute nearly for free while long ones
+  /// are compute-bound and swap wins.
+  kAuto,
+};
+
+/// Priority preemption over a two-tier KV cache. When an arrived request
+/// does not fit the device KV budget, the engine evicts running branches of
+/// strictly lower priority (lowest first, then youngest) instead of letting
+/// the arrival queue wedge. Victims either swap their KV to a host-memory
+/// tier or drop it for later recompute; they re-enter through AdmitArrived
+/// as swap transfers or prompt chunks, re-reserving their KV charge, so the
+/// device budget is never violated.
+struct PreemptionConfig {
+  bool enabled = false;
+  /// Host (offload tier) KV capacity, GB.
+  double host_capacity_gb = 16.0;
+  /// Device<->host swap bandwidth, GB/s (PCIe-class link).
+  double swap_gbps = 24.0;
+  /// Fixed per-transfer latency, microseconds (DMA setup, pinning).
+  double swap_latency_us = 100.0;
+  /// Per-page overhead, microseconds: paged KV is scattered, so a transfer
+  /// is block-granular gather/scatter copies (vLLM's swap_blocks), not one
+  /// contiguous DMA. This is what makes short contexts cheaper to recompute
+  /// than to swap.
+  double swap_page_overhead_us = 20.0;
+  RestorePolicy restore = RestorePolicy::kAuto;
+};
+
 struct EngineConfig {
   ModelSpec model;
   gpusim::DeviceSpec device;
@@ -93,6 +145,8 @@ struct EngineConfig {
   double nvlink_gbps = 450.0;
   /// Speculative decoding (off by default: vanilla one-token decode steps).
   spec::SpecDecodeConfig spec;
+  /// Priority preemption + host KV tier (off by default).
+  PreemptionConfig preemption;
 };
 
 class ServingEngine {
@@ -136,9 +190,10 @@ class ServingEngine {
   /// Runs until all admitted work has completed.
   void Drain();
 
-  /// True when no pending, prefilling, or running work remains.
+  /// True when no pending, prefilling, running, or preempted work remains.
   bool Finished() const noexcept {
-    return pending_.empty() && prefilling_.empty() && running_.empty();
+    return pending_.empty() && prefilling_.empty() && running_.empty() &&
+           preempted_.empty();
   }
 
   /// Metrics accumulated since the last Reset().
@@ -168,9 +223,19 @@ class ServingEngine {
   /// KV token capacity implied by the memory budget.
   int64_t KvTokenBudget() const noexcept { return kv_token_budget_; }
 
-  /// Live pages in the speculative-decoding KV accounting cache (0 when spec
-  /// decode is disabled, and 0 after Drain() when nothing leaked through the
-  /// fork/rollback paths).
+  /// Host-tier KV tokens held by swapped-out (preempted) branches.
+  int64_t HostKvTokensInUse() const noexcept { return host_kv_tokens_in_use_; }
+  /// Host-tier KV token capacity (0 when preemption is disabled).
+  int64_t HostKvTokenBudget() const noexcept { return host_kv_token_budget_; }
+  /// Branches currently evicted and awaiting restore.
+  int64_t PreemptedBranches() const noexcept {
+    return static_cast<int64_t>(preempted_.size());
+  }
+
+  /// Live pages in the structural KV accounting cache (active under spec
+  /// decode and/or preemption; 0 otherwise, and 0 after Drain() when nothing
+  /// leaked through the fork/rollback/evict paths). Device tier only — host
+  /// pages held by swapped-out branches are tracked by HostKvTokensInUse.
   int64_t SpecKvLivePages() const noexcept {
     return spec_kv_ ? spec_kv_->num_live_pages() : 0;
   }
@@ -185,16 +250,36 @@ class ServingEngine {
     double last_emit_s = 0.0;
     int64_t stall_steps = 0;   // Work steps survived without emitting.
     double accept_prob = 0.0;  // Spec decode: draft acceptance probability.
-    int spec_seq = -1;         // Spec decode: sequence id in spec_kv_.
+    int spec_seq = -1;         // Structural KV: sequence id in spec_kv_.
+    int priority = 0;          // Preemption: request priority.
+    double arrival_s = 0.0;    // Preemption: victim tie-break (youngest).
   };
 
   /// Admitted request whose prompt is (possibly partially) prefilled; lives
   /// in prefilling_ until its last chunk lands and it becomes Branch(es).
+  /// Restores reuse this machinery: `restore` entries either re-prefill a
+  /// preempted branch's whole context (recompute: to_compute = the context
+  /// to rebuild) or ride one step as a zero-token transfer chunk (swap: the
+  /// branch must not decode while its KV is still in flight over PCIe). The
+  /// synthetic req carries the branch's remaining output so QueuedTokens
+  /// sees the backlog; completion resumes `branch` instead of emitting a
+  /// first token.
   struct PrefillProgress {
     Request req;
     int64_t computed = 0;    // Uncached prompt tokens already prefilled.
     int64_t to_compute = 0;  // Total uncached prompt tokens.
     int chunks_used = 0;     // Chunks scheduled so far (metrics).
+    bool restore = false;    // Restore of a preempted branch.
+    bool swap_restore = false;  // Swap-in transfer (vs recompute).
+    Branch branch;           // Valid when restore == true.
+  };
+
+  /// A branch evicted under KV pressure, waiting to re-enter.
+  struct Preempted {
+    Branch branch;
+    bool swapped = false;   // Host copy exists: restore = swap-in transfer.
+    int64_t reserve = 0;    // Device KV charge to re-acquire on restore.
+    int64_t order = 0;      // FIFO tie-break within a priority level.
   };
 
   /// One step's assembled work: which prefill chunks run and whether the
@@ -221,7 +306,52 @@ class ServingEngine {
   /// max_running gates. Legacy mode (prefill_chunk_tokens == 0) additionally
   /// applies the per-step prefill token budget here, because admission and
   /// prefill-step formation are fused in the prefill-alone loop.
+  ///
+  /// Preemption hooks: preempted branches restore first (priority order,
+  /// re-reserving their KV charge); an arrived request that cannot ever fit
+  /// (need > total budget) is *rejected* with a metric instead of wedging
+  /// the queue; an arrived request blocked by running branches of strictly
+  /// lower priority preempts them (preempt-or-queue).
   void AdmitArrived();
+
+  /// Restores preempted branches (priority desc, then eviction order) while
+  /// the device budget and a run slot allow: swap-ins re-enter running_ and
+  /// serialize their PCIe transfer into the next step; recompute restores
+  /// re-enter prefilling_ as chunked context rebuilds.
+  void RestorePreempted();
+
+  /// Evicts lowest-priority-then-youngest running branches of priority
+  /// strictly below `r.priority` until `need` fits the device budget.
+  /// Returns false (evicting nothing) when even evicting every eligible
+  /// victim would not make room. Grouped (parallel-n) branches share prefix
+  /// KV across siblings and are never chosen.
+  bool TryPreemptFor(const Request& r, int64_t need);
+
+  /// Evicts one running branch: releases its device KV charge and either
+  /// swaps its KV to the host tier or drops it for recompute, per the
+  /// restore policy's cost estimate.
+  void PreemptBranch(size_t running_idx);
+
+  /// Re-materializes a restored branch into running_.
+  void ResumeBranch(const Branch& b);
+
+  /// PCIe transfer time for `tokens` of KV, microseconds.
+  double SwapUs(int64_t tokens) const;
+
+  /// Estimated marginal cost of rebuilding `kv_len` context tokens via
+  /// chunked prefill (GEMM above the weight-streaming floor the ride-along
+  /// steps already pay, plus one attention pass over the rebuilt KV).
+  double RecomputeEstimateUs(int64_t kv_len) const;
+
+  /// Whether admission reserves each branch's full output KV up front (spec
+  /// decode and preemption both require it: neither multi-token verify
+  /// commits nor the preemption invariant tolerate decode over-commit).
+  bool FullKvReserve() const noexcept {
+    return cfg_.spec.enabled || cfg_.preemption.enabled;
+  }
+
+  /// Admission KV charge for `r` under the active reservation policy.
+  int64_t KvNeed(const Request& r) const noexcept;
 
   /// Assembles the next step's unified batch from prefilling_ and running_.
   StepPlan FormStepPlan() const;
@@ -258,6 +388,7 @@ class ServingEngine {
 
   EngineConfig cfg_;
   int64_t kv_token_budget_ = 0;
+  int64_t host_kv_token_budget_ = 0;
   /// Per-branch admission reserve: decode slack (8) plus, under spec decode,
   /// one tree of transient verification KV.
   int64_t slack_tokens_ = 8;
@@ -270,15 +401,22 @@ class ServingEngine {
   std::deque<Request> pending_;
   std::deque<PrefillProgress> prefilling_;
   std::vector<Branch> running_;
+  /// Evicted branches awaiting restore, sorted by (priority desc, order).
+  std::deque<Preempted> preempted_;
   std::map<int, std::pair<int, int64_t>> group_refs_;
   ServingMetrics metrics_;
   double now_s_ = 0.0;
   int64_t kv_tokens_in_use_ = 0;
+  int64_t host_kv_tokens_in_use_ = 0;
+  /// Swap transfer time waiting to serialize into the next executed step.
+  double pending_swap_us_ = 0.0;
+  int64_t next_preempt_order_ = 0;
   int next_group_ = 0;
   Rng rng_;  // Acceptance sampling; reseeded by Reset().
   /// Structural paged KV (1 head x 1 dim: page accounting, not values) that
-  /// the spec path forks/extends/truncates so rollback exercises the real
-  /// refcount machinery. Null when spec decode is off.
+  /// the spec path forks/extends/truncates and the preemption path
+  /// evicts/restores, so rollback and swap exercise the real refcount and
+  /// two-tier machinery. Null when both spec decode and preemption are off.
   std::unique_ptr<PagedKVCache> spec_kv_;
 };
 

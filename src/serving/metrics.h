@@ -59,6 +59,34 @@ struct ServingMetrics {
   /// emitting a token. All zeros once mixed batching is on.
   std::vector<int64_t> branch_stalls;
 
+  // --- Preemption / two-tier KV (populated when preemption is enabled;
+  // rejected_requests can also count on vanilla engines — the graceful form
+  // of the old tight-budget admission wedge). ------------------------------
+  /// Running branches evicted to relieve KV pressure.
+  int64_t num_preemptions = 0;
+  /// Requests refused admission because their KV need exceeds the *total*
+  /// device budget — they could never run, even on an empty engine. The
+  /// pre-preemption engine aborted (FI_CHECK) on this condition.
+  int64_t rejected_requests = 0;
+  /// Device KV pages released by evictions (swapped out or dropped).
+  int64_t evicted_pages = 0;
+  /// Pages swapped back in from the host tier by restores.
+  int64_t restored_pages = 0;
+  /// PCIe transfer time for swap-outs + swap-ins, milliseconds (charged into
+  /// the steps the transfers serialize with).
+  double total_swap_ms = 0.0;
+  /// Context tokens re-prefilled by recompute restores (not counted in
+  /// total_prefill_tokens: this is restore work, not prompt work).
+  int64_t recompute_tokens = 0;
+  int64_t num_swap_restores = 0;
+  int64_t num_recompute_restores = 0;
+  /// Sum over work steps of preempted branches waiting out the step — the
+  /// stall a victim's user experiences, analogous to itl_stall_steps.
+  int64_t preempt_stall_steps = 0;
+  /// Request priority per TTFT sample (parallel to ttft_ms) so benches can
+  /// split latency tails by priority class under KV pressure.
+  std::vector<int> ttft_priority;
+
   // --- Speculative decoding (populated when spec decode is enabled). -------
   /// Verify steps executed (each replaces one vanilla decode step).
   int64_t spec_steps = 0;
@@ -104,6 +132,16 @@ struct ServingMetrics {
     int64_t total = 0;
     for (int64_t s : branch_stalls) total += s;
     return static_cast<double>(total) / static_cast<double>(branch_stalls.size());
+  }
+
+  // --- Preemption derived metrics ------------------------------------------
+  /// TTFT percentile over requests of one priority class (p in [0,1]).
+  double TtftPercentileMsForPriority(int priority, double p) const {
+    std::vector<double> v;
+    for (std::size_t i = 0; i < ttft_ms.size() && i < ttft_priority.size(); ++i) {
+      if (ttft_priority[i] == priority) v.push_back(ttft_ms[i]);
+    }
+    return Percentile(std::move(v), p);
   }
 
   // --- Speculative-decoding derived metrics --------------------------------

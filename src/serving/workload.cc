@@ -136,6 +136,29 @@ std::vector<Request> BurstyLongPrefillWorkload(Rng& rng, const BurstyPrefillConf
   return reqs;
 }
 
+void AssignPriorities(Rng& rng, std::vector<Request>& workload,
+                      const std::vector<double>& weights) {
+  FI_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    FI_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  FI_CHECK_GT(total, 0.0);
+  for (auto& r : workload) {
+    double u = rng.NextDouble() * total;
+    int level = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      u -= weights[i];
+      if (u < 0.0) {
+        level = static_cast<int>(i);
+        break;
+      }
+    }
+    r.priority = level;
+  }
+}
+
 void AssignAcceptance(Rng& rng, std::vector<Request>& workload, double lo, double hi) {
   FI_CHECK_LE(lo, hi);
   for (auto& r : workload) {

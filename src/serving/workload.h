@@ -42,6 +42,10 @@ struct Request {
   /// (how predictable this request's continuation is to the draft model);
   /// < 0 means "use SpecDecodeConfig::default_accept_prob".
   double accept_prob = -1.0;
+  /// Scheduling priority under KV pressure (higher = more important). A
+  /// preemption-enabled engine evicts the lowest-priority (then youngest)
+  /// running branches to admit a higher-priority arrival that does not fit.
+  int priority = 0;
 };
 
 /// ShareGPT-like conversation lengths: log-normal prompt (~mean 220) and
@@ -104,6 +108,13 @@ struct BurstyPrefillConfig {
 
 /// Requests sorted by arrival, ids reassigned in arrival order.
 std::vector<Request> BurstyLongPrefillWorkload(Rng& rng, const BurstyPrefillConfig& cfg = {});
+
+/// Assigns every request a priority level drawn from {0 .. weights.size()-1}
+/// with probability proportional to `weights[level]` (e.g. {0.8, 0.2} models
+/// 20% interactive traffic over a batch tier). Higher levels preempt lower
+/// ones under KV pressure.
+void AssignPriorities(Rng& rng, std::vector<Request>& workload,
+                      const std::vector<double>& weights);
 
 /// Assigns every request a draft-acceptance probability drawn uniformly from
 /// [lo, hi] — the per-request acceptance model for speculative decoding

@@ -1,0 +1,472 @@
+// Priority preemption over the two-tier paged KV cache: kvcache-level
+// eviction/restore under sharing, engine-level preempt-or-queue behavior,
+// the tight-KV admission-wedge regression, and KV-headroom routing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/router.h"
+#include "kvcache/paged.h"
+#include "kvcache/radix.h"
+#include "serving/engine.h"
+
+namespace flashinfer {
+namespace {
+
+using serving::BatchPolicy;
+using serving::EngineConfig;
+using serving::Request;
+using serving::RestorePolicy;
+using serving::ServingEngine;
+using serving::ServingMetrics;
+
+// --- Two-tier PagedKVCache ---------------------------------------------------
+
+constexpr int kPage = 16;
+
+PagedKVCache MakeCache(int64_t pages, int64_t host_pages) {
+  return PagedKVCache(DType::kF16, /*num_kv_heads=*/1, /*head_dim=*/4, kPage, pages,
+                      host_pages);
+}
+
+std::vector<float> Rows(int64_t tokens, float base) {
+  std::vector<float> v(static_cast<size_t>(tokens) * 4);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = base + static_cast<float>(i);
+  return v;
+}
+
+TEST(TwoTierKv, EvictRestoreRoundTripsExclusivePages) {
+  auto kv = MakeCache(8, 8);
+  const int seq = kv.CreateSequence();
+  const auto k = Rows(40, 1.0f), v = Rows(40, 100.0f);
+  kv.AppendTokens(seq, k.data(), v.data(), 40);  // 2 full pages + 8-token tail.
+  EXPECT_EQ(kv.num_live_pages(), 3);
+  EXPECT_EQ(kv.ExclusivePages(seq), 3);
+  const float probe = kv.KAt(kv.SequencePages(seq)[1], 0, 3, 2);
+
+  EXPECT_EQ(kv.EvictSequence(seq), 3);
+  EXPECT_TRUE(kv.IsEvicted(seq));
+  EXPECT_EQ(kv.num_live_pages(), 0);  // All device pages freed.
+  EXPECT_EQ(kv.num_live_host_pages(), 3);
+  EXPECT_EQ(kv.HostPagesHeld(seq), 3);
+  EXPECT_EQ(kv.SequenceLength(seq), 40);  // Length survives eviction.
+
+  EXPECT_EQ(kv.RestoreSequence(seq), 3);
+  EXPECT_FALSE(kv.IsEvicted(seq));
+  EXPECT_EQ(kv.num_live_pages(), 3);
+  EXPECT_EQ(kv.num_live_host_pages(), 0);
+  // KV data survived the round trip through the host tier.
+  EXPECT_EQ(kv.KAt(kv.SequencePages(seq)[1], 0, 3, 2), probe);
+  // The restored sequence appends again.
+  kv.AppendTokens(seq, k.data(), v.data(), 8);
+  EXPECT_EQ(kv.SequenceLength(seq), 48);
+
+  kv.DropSequence(seq);
+  EXPECT_EQ(kv.num_live_pages(), 0);
+  EXPECT_EQ(kv.num_live_host_pages(), 0);
+}
+
+TEST(TwoTierKv, EvictingForkPreservesSharingAndRefcounts) {
+  auto kv = MakeCache(16, 16);
+  const int parent = kv.CreateSequence();
+  const auto k = Rows(40, 1.0f), v = Rows(40, 100.0f);
+  kv.AppendTokens(parent, k.data(), v.data(), 40);
+  const int fork = kv.ForkSequence(parent);  // 2 shared full pages + CoW tail.
+  const auto& ppages = kv.SequencePages(parent);
+  EXPECT_EQ(kv.RefCount(ppages[0]), 2);
+  EXPECT_EQ(kv.RefCount(ppages[1]), 2);
+  EXPECT_EQ(kv.num_live_pages(), 4);  // 3 parent + 1 CoW tail.
+
+  // Evicting the fork offloads only its exclusive CoW tail; the two shared
+  // pages stay resident under the fork's refcount — sharing is not broken.
+  EXPECT_EQ(kv.ExclusivePages(fork), 1);
+  EXPECT_EQ(kv.EvictSequence(fork), 1);
+  EXPECT_EQ(kv.RefCount(ppages[0]), 2);
+  EXPECT_EQ(kv.RefCount(ppages[1]), 2);
+  EXPECT_EQ(kv.num_live_pages(), 3);
+  EXPECT_EQ(kv.num_live_host_pages(), 1);
+
+  // The parent is untouched: it can keep appending into its own tail.
+  kv.AppendTokens(parent, k.data(), v.data(), 8);
+  EXPECT_EQ(kv.SequenceLength(parent), 48);
+
+  // Swap-path restore: the tail comes back, refcounts stay exact.
+  EXPECT_EQ(kv.RestoreSequence(fork), 1);
+  EXPECT_EQ(kv.RefCount(ppages[0]), 2);
+  EXPECT_EQ(kv.RefCount(ppages[1]), 2);
+  EXPECT_EQ(kv.SequenceLength(fork), 40);
+  kv.TruncateSequence(fork, 32);  // Fork can roll back normally again.
+
+  kv.DropSequence(fork);
+  EXPECT_EQ(kv.RefCount(ppages[0]), 1);
+  kv.DropSequence(parent);
+  EXPECT_EQ(kv.num_live_pages(), 0);
+  EXPECT_EQ(kv.num_live_host_pages(), 0);
+}
+
+TEST(TwoTierKv, DroppingEvictedForkReleasesHostPages) {
+  // Recompute-path restore at the cache level: the evicted sequence is
+  // dropped outright (its rebuilt replacement is a fresh sequence), which
+  // must free host pages AND the refcounts it still holds on shared pages.
+  auto kv = MakeCache(16, 16);
+  const int parent = kv.CreateSequence();
+  const auto k = Rows(40, 1.0f), v = Rows(40, 100.0f);
+  kv.AppendTokens(parent, k.data(), v.data(), 40);
+  const int fork = kv.ForkSequence(parent);
+  kv.EvictSequence(fork);
+  EXPECT_EQ(kv.num_live_host_pages(), 1);
+
+  kv.DropSequence(fork);
+  EXPECT_EQ(kv.num_live_host_pages(), 0);
+  EXPECT_EQ(kv.RefCount(kv.SequencePages(parent)[0]), 1);
+
+  // Rebuild (what the engine's recompute restore does structurally).
+  const int rebuilt = kv.CreateSequence();
+  kv.ExtendSequence(rebuilt, 40);
+  EXPECT_EQ(kv.SequenceLength(rebuilt), 40);
+  kv.DropSequence(rebuilt);
+  kv.DropSequence(parent);
+  EXPECT_EQ(kv.num_live_pages(), 0);
+}
+
+TEST(TwoTierKv, EvictionKeepsRadixMirrorAndAdoptedPrefixExact) {
+  // A cached prefix held by a radix tree (cache-owner sequence) and adopted
+  // by a branch: evicting the branch must not disturb the cached pages or
+  // the tree — only the branch's private suffix moves to host.
+  auto kv = MakeCache(16, 16);
+  RadixTree tree(kPage);
+
+  const int owner = kv.CreateSequence();  // Stands in for the prefix cache.
+  const auto k = Rows(32, 1.0f), v = Rows(32, 100.0f);
+  kv.AppendTokens(owner, k.data(), v.data(), 32);  // 2 full pages.
+  std::vector<int32_t> prompt(32);
+  for (int i = 0; i < 32; ++i) prompt[i] = i;
+  const std::vector<int64_t> prefix_pages = kv.SequencePages(owner);
+  EXPECT_EQ(tree.Insert(prompt, prefix_pages), 2);
+
+  const int branch = kv.CreateSequence();
+  kv.AdoptPrefix(branch, prefix_pages, 32);
+  kv.ExtendSequence(branch, 20);  // Private suffix: 1 full + 1 partial page.
+  EXPECT_EQ(kv.RefCount(prefix_pages[0]), 2);
+  EXPECT_EQ(kv.ExclusivePages(branch), 2);
+
+  EXPECT_EQ(kv.EvictSequence(branch), 2);  // Only the private suffix.
+  EXPECT_EQ(kv.RefCount(prefix_pages[0]), 2);
+  EXPECT_EQ(kv.RefCount(prefix_pages[1]), 2);
+  EXPECT_EQ(tree.TotalCachedPages(), 2);
+  // The mirror still matches the prompt while the branch is evicted.
+  EXPECT_EQ(tree.MatchPrefix(prompt).matched_tokens, 32);
+
+  EXPECT_EQ(kv.RestoreSequence(branch), 2);
+  EXPECT_EQ(kv.RefCount(prefix_pages[0]), 2);
+  EXPECT_EQ(kv.SequenceLength(branch), 52);
+
+  kv.DropSequence(branch);
+  kv.DropSequence(owner);
+  // The tree tracks page *ids*, not refcounts: with both sequences dropped,
+  // every page is back on the free list.
+  EXPECT_EQ(kv.num_live_pages(), 0);
+  EXPECT_EQ(kv.num_live_host_pages(), 0);
+  // (The radix mirror tracks page *ids*, not refcounts; TotalCachedPages is
+  // its own budget metric and must be unchanged by branch eviction.)
+  EXPECT_EQ(tree.TotalCachedPages(), 2);
+  EXPECT_EQ(tree.EvictLru(16).size(), 2u);
+}
+
+// --- Engine preemption -------------------------------------------------------
+
+EngineConfig BaseConfig() {
+  EngineConfig cfg;
+  cfg.model = serving::Llama31_8B();
+  cfg.device = gpusim::H100Sxm80GB();
+  cfg.backend = serving::FlashInferBackend();
+  return cfg;
+}
+
+/// hbm_capacity_gb that yields a device KV budget of ~`budget_tokens`.
+double HbmForBudget(const EngineConfig& cfg, int64_t budget_tokens) {
+  const double kv_bytes = static_cast<double>(budget_tokens) *
+                          cfg.model.KvBytesPerToken(cfg.backend.kv_dtype) / 0.9;
+  return (cfg.model.WeightBytesPerGpu() + kv_bytes) / 1e9;
+}
+
+Request MakeReq(int id, double arrival, int64_t in, int64_t out, int priority) {
+  Request r;
+  r.id = id;
+  r.arrival_s = arrival;
+  r.input_len = in;
+  r.output_len = out;
+  r.priority = priority;
+  return r;
+}
+
+// Regression for the PR 1 tight-KV wedge: a request whose KV need exceeds
+// the total budget used to strand the arrival queue until the engine went
+// idle and aborted on a loud FI_CHECK (engine.cc idle branch). The exact
+// shape that tripped it — tight budget, an oversized request behind normal
+// traffic — must now complete, with the oversized request *rejected* (with
+// a metric) and KV pressure resolved by preemptions instead of a crash.
+TEST(Preemption, TightKvWedgeConfigNowCompletesWithPreemptions) {
+  auto cfg = BaseConfig();
+  cfg.preemption.enabled = true;
+  cfg.hbm_capacity_gb = HbmForBudget(cfg, 6000);
+  ServingEngine engine(cfg);
+  ASSERT_LT(engine.KvTokenBudget(), 6100);
+  ASSERT_GE(engine.KvTokenBudget(), 5900);
+
+  std::vector<Request> reqs;
+  reqs.push_back(MakeReq(0, 0.0, 3000, 400, /*priority=*/0));   // Low, long-lived.
+  reqs.push_back(MakeReq(1, 0.3, 4000, 64, /*priority=*/1));    // Forces preemption.
+  reqs.push_back(MakeReq(2, 0.5, 9000, 16, /*priority=*/1));    // Can NEVER fit.
+  const auto m = engine.Run(reqs);
+
+  EXPECT_EQ(m.rejected_requests, 1);
+  EXPECT_GE(m.num_preemptions, 1);
+  ASSERT_EQ(m.ttft_ms.size(), 2u);  // Both feasible requests completed.
+  EXPECT_EQ(m.total_output_tokens, 400 + 64);
+  EXPECT_EQ(engine.KvTokensInUse(), 0);
+  EXPECT_EQ(engine.HostKvTokensInUse(), 0);
+  EXPECT_EQ(engine.SpecKvLivePages(), 0);
+  EXPECT_TRUE(engine.Finished());
+}
+
+// Without preemption the same infeasible request is still rejected (the
+// graceful replacement for the FI_CHECK abort) and everything else simply
+// queues for capacity.
+TEST(Preemption, VanillaEngineRejectsInfeasibleInsteadOfWedging) {
+  auto cfg = BaseConfig();
+  cfg.hbm_capacity_gb = HbmForBudget(cfg, 6000);
+  ServingEngine engine(cfg);
+  std::vector<Request> reqs;
+  reqs.push_back(MakeReq(0, 0.0, 3000, 64, 0));
+  reqs.push_back(MakeReq(1, 0.1, 9000, 16, 0));  // need > total budget.
+  reqs.push_back(MakeReq(2, 0.2, 2000, 32, 0));
+  const auto m = engine.Run(reqs);
+  EXPECT_EQ(m.rejected_requests, 1);
+  EXPECT_EQ(m.num_preemptions, 0);
+  ASSERT_EQ(m.ttft_ms.size(), 2u);
+  EXPECT_EQ(m.total_output_tokens, 64 + 32);
+  EXPECT_EQ(engine.KvTokensInUse(), 0);
+}
+
+// Victim policy: lowest priority first, then youngest (latest arrival). The
+// victims carry distinct context lengths so the recompute-restore token
+// count identifies which branch was evicted.
+TEST(Preemption, VictimIsLowestPriorityThenYoungest) {
+  auto cfg = BaseConfig();
+  cfg.preemption.enabled = true;
+  cfg.preemption.restore = RestorePolicy::kRecompute;
+  cfg.hbm_capacity_gb = HbmForBudget(cfg, 6000);
+  ServingEngine engine(cfg);
+
+  std::vector<Request> reqs;
+  reqs.push_back(MakeReq(0, 0.00, 400, 400, 0));   // Oldest low.
+  reqs.push_back(MakeReq(1, 0.05, 800, 400, 0));   // Middle low.
+  reqs.push_back(MakeReq(2, 0.10, 2000, 400, 0));  // Youngest low -> victim.
+  reqs.push_back(MakeReq(3, 0.50, 2500, 100, 1));  // High-priority arrival.
+  const auto m = engine.Run(reqs);
+
+  EXPECT_EQ(m.num_preemptions, 1);
+  EXPECT_EQ(m.num_recompute_restores, 1);
+  // The evicted context was request 2's: >= its 2000-token prompt (plus the
+  // tokens it had decoded by eviction time), not the 400/800 prompts.
+  EXPECT_GE(m.recompute_tokens, 2000);
+  EXPECT_LT(m.recompute_tokens, 2400);
+  EXPECT_EQ(m.total_output_tokens, 3 * 400 + 100);
+  EXPECT_EQ(engine.KvTokensInUse(), 0);
+  EXPECT_EQ(engine.SpecKvLivePages(), 0);
+}
+
+TEST(Preemption, SwapRestoreRoundTripsPagesExactly) {
+  auto cfg = BaseConfig();
+  cfg.preemption.enabled = true;
+  cfg.preemption.restore = RestorePolicy::kSwap;
+  cfg.hbm_capacity_gb = HbmForBudget(cfg, 6000);
+  ServingEngine engine(cfg);
+
+  std::vector<Request> reqs;
+  reqs.push_back(MakeReq(0, 0.0, 3000, 400, 0));
+  reqs.push_back(MakeReq(1, 0.5, 4000, 100, 1));
+  const auto m = engine.Run(reqs);
+
+  EXPECT_GE(m.num_preemptions, 1);
+  EXPECT_EQ(m.num_recompute_restores, 0);
+  EXPECT_EQ(m.num_swap_restores, m.num_preemptions);
+  EXPECT_GT(m.evicted_pages, 0);
+  EXPECT_EQ(m.restored_pages, m.evicted_pages);
+  EXPECT_GT(m.total_swap_ms, 0.0);
+  EXPECT_EQ(m.recompute_tokens, 0);
+  EXPECT_EQ(m.total_output_tokens, 400 + 100);
+  EXPECT_EQ(engine.KvTokensInUse(), 0);
+  EXPECT_EQ(engine.HostKvTokensInUse(), 0);
+  EXPECT_EQ(engine.SpecKvLivePages(), 0);
+}
+
+// Anti-starvation: freed capacity drains to the waiting victim before any
+// equal-or-lower-priority arrival is admitted. The victim below has the
+// largest reserve in a pool of small same-priority jobs (and is youngest,
+// so it IS the one evicted); without the rule, every small completion's
+// freed increment is immediately re-occupied by the next small arrival and
+// the victim waits out the whole stream — with it, the victim restores as
+// soon as two resident jobs have finished.
+TEST(Preemption, RestoreOutranksEqualPriorityArrivals) {
+  auto cfg = BaseConfig();
+  cfg.preemption.enabled = true;
+  cfg.hbm_capacity_gb = HbmForBudget(cfg, 2700);
+  ServingEngine engine(cfg);
+
+  std::vector<Request> reqs;
+  for (int i = 0; i < 4; ++i) {
+    reqs.push_back(MakeReq(i, 0.1 * i, 200, 150, 0));  // Small residents (358).
+  }
+  reqs.push_back(MakeReq(4, 0.4, 800, 400, 0));  // Victim: youngest, 1208.
+  reqs.push_back(MakeReq(5, 0.5, 300, 190, 1));  // Preemptor (498).
+  for (int i = 0; i < 16; ++i) {
+    // Equal-priority stream that would otherwise re-occupy every increment.
+    reqs.push_back(MakeReq(6 + i, 0.6 + 0.1 * i, 200, 150, 0));
+  }
+  const auto m = engine.Run(reqs);
+  EXPECT_EQ(m.num_preemptions, 1);
+  EXPECT_EQ(m.num_swap_restores + m.num_recompute_restores, 1);
+  ASSERT_EQ(m.ttft_ms.size(), reqs.size());
+  // The victim only waits for two resident completions, not the stream.
+  EXPECT_LT(m.preempt_stall_steps, 200);
+  EXPECT_EQ(engine.KvTokensInUse(), 0);
+  EXPECT_EQ(engine.SpecKvLivePages(), 0);
+}
+
+TEST(Preemption, PreemptionIdleUnderLooseBudgetMatchesVanilla) {
+  Rng rng(77);
+  const auto reqs = serving::ShareGptWorkload(rng, 30, 20.0);
+  auto cfg = BaseConfig();  // 80 GB: no pressure.
+  const auto vanilla = ServingEngine(cfg).Run(reqs);
+  cfg.preemption.enabled = true;
+  const auto preempt = ServingEngine(cfg).Run(reqs);
+  // With headroom, full-output reservation changes nothing observable.
+  EXPECT_EQ(preempt.num_preemptions, 0);
+  EXPECT_EQ(preempt.rejected_requests, 0);
+  EXPECT_DOUBLE_EQ(preempt.makespan_s, vanilla.makespan_s);
+  EXPECT_EQ(preempt.num_steps, vanilla.num_steps);
+  EXPECT_EQ(preempt.total_output_tokens, vanilla.total_output_tokens);
+}
+
+TEST(Preemption, HighPriorityTtftProtectedUnderPressure) {
+  Rng rng(11);
+  auto reqs = serving::UniformWorkload(rng, 60, 30.0, 512, 1024, 128);
+  // Deterministic mix: every 5th request is interactive (priority 1).
+  for (size_t i = 0; i < reqs.size(); ++i) reqs[i].priority = i % 5 == 0 ? 1 : 0;
+  auto cfg = BaseConfig();
+  cfg.preemption.enabled = true;
+  cfg.hbm_capacity_gb = HbmForBudget(cfg, 8000);
+  ServingEngine engine(cfg);
+  const auto m = engine.Run(reqs);
+  EXPECT_GT(m.num_preemptions, 0);
+  EXPECT_EQ(m.ttft_ms.size(), m.ttft_priority.size());
+  // Preemption exists to protect the high class: its admission tail must
+  // beat the low class's under the same pressure.
+  EXPECT_LT(m.TtftPercentileMsForPriority(1, 0.95),
+            m.TtftPercentileMsForPriority(0, 0.95));
+  EXPECT_EQ(engine.KvTokensInUse(), 0);
+  EXPECT_EQ(engine.SpecKvLivePages(), 0);
+}
+
+TEST(Preemption, RunEqualsStepToUnderPressure) {
+  Rng rng(13);
+  auto reqs = serving::UniformWorkload(rng, 40, 25.0, 512, 1024, 96);
+  serving::AssignPriorities(rng, reqs, {0.7, 0.3});
+  auto cfg = BaseConfig();
+  cfg.preemption.enabled = true;
+  cfg.hbm_capacity_gb = HbmForBudget(cfg, 8000);
+
+  ServingEngine reference(cfg);
+  const auto run = reference.Run(reqs);
+  ASSERT_GT(run.num_preemptions, 0);
+
+  ServingEngine stepped(cfg);
+  stepped.Reset();
+  for (const auto& r : reqs) stepped.Admit(r);
+  while (!stepped.Finished()) {
+    stepped.StepTo(stepped.NextEventTime() + 0.02);
+  }
+  const auto& st = stepped.Metrics();
+  EXPECT_DOUBLE_EQ(st.makespan_s, run.makespan_s);
+  EXPECT_EQ(st.num_steps, run.num_steps);
+  EXPECT_EQ(st.total_output_tokens, run.total_output_tokens);
+  EXPECT_EQ(st.num_preemptions, run.num_preemptions);
+  EXPECT_EQ(st.num_swap_restores, run.num_swap_restores);
+  EXPECT_EQ(st.num_recompute_restores, run.num_recompute_restores);
+  EXPECT_DOUBLE_EQ(st.total_swap_ms, run.total_swap_ms);
+}
+
+TEST(Preemption, SpecDecodeCoexistsAndDrainsClean) {
+  Rng rng(17);
+  auto reqs = serving::UniformWorkload(rng, 40, 40.0, 256, 768, 96);
+  serving::AssignPriorities(rng, reqs, {0.7, 0.3});
+  serving::AssignAcceptance(rng, reqs, 0.5, 0.9);
+  auto cfg = BaseConfig();
+  cfg.spec.enabled = true;
+  cfg.preemption.enabled = true;
+  cfg.hbm_capacity_gb = HbmForBudget(cfg, 4000);
+  ServingEngine engine(cfg);
+  const auto m = engine.Run(reqs);
+  EXPECT_GT(m.num_preemptions, 0);
+  EXPECT_GT(m.spec_steps, 0);
+  EXPECT_EQ(m.ttft_ms.size() + static_cast<size_t>(m.rejected_requests),
+            reqs.size());
+  EXPECT_EQ(engine.KvTokensInUse(), 0);
+  EXPECT_EQ(engine.HostKvTokensInUse(), 0);
+  EXPECT_EQ(engine.SpecKvLivePages(), 0);
+}
+
+// --- KV-headroom routing -----------------------------------------------------
+
+TEST(RouterHeadroom, LeastLoadedAvoidsPressuredReplica) {
+  auto router = cluster::CreateRouter(cluster::RouterPolicy::kLeastLoaded);
+  std::vector<cluster::ReplicaView> views(2);
+  views[0].replica = 0;
+  views[0].queued_tokens = 100;  // Lightest load...
+  views[0].kv_tokens_in_use = 9950;
+  views[0].kv_token_budget = 10000;  // ...but only 50 tokens of headroom.
+  views[1].replica = 1;
+  views[1].queued_tokens = 5000;
+  views[1].kv_tokens_in_use = 1000;
+  views[1].kv_token_budget = 100000;
+
+  Request r = MakeReq(0, 0.0, 512, 128, 0);
+  EXPECT_EQ(router->Route(r, views), 1);
+  EXPECT_EQ(router->Stats().pressure_fallbacks, 1);
+  // With every replica pressured, fall back to plain least-loaded.
+  views[1].kv_tokens_in_use = 99990;
+  EXPECT_EQ(router->Route(r, views), 0);
+}
+
+TEST(RouterHeadroom, PrefixAffinityShedsFromPressuredTarget) {
+  RadixTree cache0(16), cache1(16);
+  std::vector<int32_t> prompt(64);
+  for (int i = 0; i < 64; ++i) prompt[i] = 1000 + i;
+  std::vector<int64_t> pages(4);
+  for (int i = 0; i < 4; ++i) pages[static_cast<size_t>(i)] = i;
+  cache0.Insert(prompt, pages);  // Replica 0 holds the prefix.
+
+  std::vector<cluster::ReplicaView> views(2);
+  views[0].replica = 0;
+  views[0].prefix_cache = &cache0;
+  views[0].kv_token_budget = 10000;
+  views[1].replica = 1;
+  views[1].prefix_cache = &cache1;
+  views[1].kv_token_budget = 10000;
+
+  Request r = MakeReq(0, 0.0, 64, 64, 0);
+  r.prompt_tokens = prompt;
+
+  auto router = cluster::CreateRouter(cluster::RouterPolicy::kPrefixAffinity);
+  EXPECT_EQ(router->Route(r, views), 0);  // Affinity wins with headroom.
+  EXPECT_EQ(router->Stats().affinity_hits, 1);
+
+  views[0].kv_tokens_in_use = 9990;  // Pressure the affinity target.
+  EXPECT_EQ(router->Route(r, views), 1);
+  EXPECT_EQ(router->Stats().pressure_fallbacks, 1);
+}
+
+}  // namespace
+}  // namespace flashinfer

@@ -1,0 +1,286 @@
+// Randomized cross-subsystem soak/property harness.
+//
+// Every trial draws a random config point — chunking on/off, speculative
+// decoding on/off, preemption on/off (random restore policy), tight vs loose
+// KV budget, batch policy — and a random bursty workload admitted in
+// *shuffled* order, then asserts the whole-engine invariants that every
+// subsystem must preserve when composed with the others:
+//
+//   1. the drain loop terminates (bounded step count, so a wedge prints the
+//      reproducing seed instead of hanging the test runner),
+//   2. exact KV accounting: KvTokensInUse()==0, HostKvTokensInUse()==0 and
+//      SpecKvLivePages()==0 after the drain,
+//   3. every admitted (non-rejected) request completes exactly once,
+//   4. on a fixed-seed subset, Run() ≡ an external Admit/StepTo loop.
+//
+// A failing trial prints `seed=...` — rerun with that seed to reproduce.
+// Trial count: FI_SOAK_TRIALS (default 50; 0 skips the randomized test —
+// CI's sanitizer job runs only the 3 pinned seeds, which are always on).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <csignal>
+#include <unistd.h>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "serving/engine.h"
+
+namespace flashinfer {
+namespace {
+
+// FI_CHECK failures abort the process before gtest can print SCOPED_TRACE,
+// so the reproducing seed is echoed from a SIGABRT handler too.
+volatile uint64_t g_current_seed = 0;
+
+void AbortSeedReporter(int) {
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof(buf), "\n[soak] seed=%llu\n",
+                              static_cast<unsigned long long>(g_current_seed));
+  if (n > 0) {
+    [[maybe_unused]] auto r = write(2, buf, static_cast<size_t>(n));
+  }
+  std::signal(SIGABRT, SIG_DFL);
+  std::abort();
+}
+
+struct InstallAbortReporter {
+  InstallAbortReporter() { std::signal(SIGABRT, AbortSeedReporter); }
+} g_install_abort_reporter;
+
+using serving::BatchPolicy;
+using serving::EngineConfig;
+using serving::Request;
+using serving::RestorePolicy;
+using serving::ServingEngine;
+using serving::ServingMetrics;
+
+double HbmForBudget(const EngineConfig& cfg, int64_t budget_tokens) {
+  const double kv_bytes = static_cast<double>(budget_tokens) *
+                          cfg.model.KvBytesPerToken(cfg.backend.kv_dtype) / 0.9;
+  return (cfg.model.WeightBytesPerGpu() + kv_bytes) / 1e9;
+}
+
+EngineConfig RandomConfig(Rng& rng) {
+  EngineConfig cfg;
+  cfg.model = serving::Llama31_8B();
+  cfg.device = gpusim::H100Sxm80GB();
+  cfg.backend = serving::FlashInferBackend();
+  // Chunking on/off; when on, vary the chunk size.
+  cfg.prefill_chunk_tokens =
+      rng.NextDouble() < 0.25 ? 0 : rng.UniformInt(256, 2048);
+  cfg.batch_policy = rng.NextDouble() < 0.5 ? BatchPolicy::kDecodePriority
+                                            : BatchPolicy::kThroughputPriority;
+  // Spec decode on/off.
+  if (rng.NextDouble() < 0.4) {
+    cfg.spec.enabled = true;
+    cfg.spec.tree.depth = static_cast<int>(rng.UniformInt(1, 3));
+    cfg.spec.tree.branching = static_cast<int>(rng.UniformInt(1, 2));
+  }
+  // Preemption on/off with a random restore policy and host tier.
+  if (rng.NextDouble() < 0.5) {
+    cfg.preemption.enabled = true;
+    const double u = rng.NextDouble();
+    cfg.preemption.restore = u < 0.34   ? RestorePolicy::kSwap
+                             : u < 0.67 ? RestorePolicy::kRecompute
+                                        : RestorePolicy::kAuto;
+    cfg.preemption.host_capacity_gb = rng.NextDouble() < 0.3 ? 0.25 : 8.0;
+  }
+  // Tight vs loose KV budget.
+  cfg.hbm_capacity_gb = rng.NextDouble() < 0.55
+                            ? HbmForBudget(cfg, rng.UniformInt(2500, 9000))
+                            : 80.0;
+  return cfg;
+}
+
+std::vector<Request> RandomWorkload(Rng& rng) {
+  std::vector<Request> reqs;
+  const double choice = rng.NextDouble();
+  if (choice < 0.4) {
+    serving::BurstyPrefillConfig w;
+    w.num_steady = static_cast<int>(rng.UniformInt(15, 35));
+    w.steady_rate = rng.Uniform(15.0, 45.0);
+    w.num_bursts = static_cast<int>(rng.UniformInt(1, 3));
+    w.burst_size = static_cast<int>(rng.UniformInt(2, 4));
+    w.burst_input_lo = 2048;
+    w.burst_input_hi = 6144;
+    reqs = serving::BurstyLongPrefillWorkload(rng, w);
+  } else if (choice < 0.7) {
+    reqs = serving::UniformWorkload(rng, static_cast<int>(rng.UniformInt(20, 45)),
+                                    rng.Uniform(15.0, 50.0), 128, 1536,
+                                    rng.UniformInt(16, 192));
+  } else {
+    reqs = serving::ShareGptWorkload(rng, static_cast<int>(rng.UniformInt(20, 45)),
+                                     rng.Uniform(10.0, 30.0));
+    // Occasional parallel-generation groups (never preempted, but they
+    // stress the shared-prefix fork paths under pressure).
+    for (auto& r : reqs) {
+      if (rng.NextDouble() < 0.15) r.parallel_n = 2;
+    }
+  }
+  serving::AssignPriorities(rng, reqs, {0.6, 0.3, 0.1});
+  serving::AssignAcceptance(rng, reqs, 0.3, 0.95);
+  return reqs;
+}
+
+int64_t ExpectedOutputTokens(const Request& r) {
+  const int n = std::max(1, r.parallel_n);
+  return n > 1 ? 1 + static_cast<int64_t>(n) * std::max<int64_t>(r.output_len - 1, 0)
+               : std::max<int64_t>(r.output_len, 1);
+}
+
+/// Drains with a step bound so a future admission wedge fails with the
+/// reproducing seed instead of hanging the test binary until its timeout.
+void BoundedDrain(ServingEngine& engine) {
+  for (int64_t i = 0; i < 500000 && !engine.Finished(); ++i) {
+    engine.StepTo(engine.NextEventTime());
+  }
+  ASSERT_TRUE(engine.Finished()) << "drain did not terminate";
+}
+
+void RunEngineTrial(uint64_t seed, bool check_step_equiv) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  g_current_seed = seed;
+  Rng rng(seed);
+  const EngineConfig cfg = RandomConfig(rng);
+  std::vector<Request> reqs = RandomWorkload(rng);
+
+  // Shuffled admission order: the engine must behave identically no matter
+  // the order simultaneous arrivals are enqueued in.
+  std::vector<Request> shuffled = reqs;
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1],
+              shuffled[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(i) - 1))]);
+  }
+
+  ServingEngine engine(cfg);
+  engine.Reset();
+  for (const auto& r : shuffled) engine.Admit(r);
+  BoundedDrain(engine);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  const ServingMetrics& m = engine.Metrics();
+  // Exact KV accounting on both tiers, and a clean structural page pool.
+  EXPECT_EQ(engine.KvTokensInUse(), 0);
+  EXPECT_EQ(engine.HostKvTokensInUse(), 0);
+  EXPECT_EQ(engine.SpecKvLivePages(), 0);
+  EXPECT_EQ(engine.PreemptedBranches(), 0);
+  EXPECT_EQ(engine.QueuedTokens(), 0);
+
+  // Every admitted request completed exactly once; rejections only under a
+  // budget no request-sized engine could ever satisfy.
+  EXPECT_EQ(m.ttft_ms.size() + static_cast<size_t>(m.rejected_requests),
+            reqs.size());
+  EXPECT_EQ(m.ttft_ms.size(), m.ttft_priority.size());
+  if (m.rejected_requests == 0) {
+    int64_t expected = 0;
+    for (const auto& r : reqs) expected += ExpectedOutputTokens(r);
+    EXPECT_EQ(m.total_output_tokens, expected);
+  } else {
+    EXPECT_GT(m.total_output_tokens, 0);
+  }
+  // Restores must balance preemptions: nothing stays evicted.
+  EXPECT_EQ(m.num_swap_restores + m.num_recompute_restores, m.num_preemptions);
+  EXPECT_EQ(m.restored_pages == 0, m.num_swap_restores == 0);
+
+  if (!check_step_equiv) return;
+  // Run() ≡ external Admit/StepTo loop with rng-jittered deadlines.
+  ServingEngine reference(cfg);
+  const auto run = reference.Run(reqs);
+  ServingEngine stepped(cfg);
+  stepped.Reset();
+  for (const auto& r : shuffled) stepped.Admit(r);
+  for (int64_t i = 0; i < 500000 && !stepped.Finished(); ++i) {
+    stepped.StepTo(stepped.NextEventTime() + rng.Uniform(0.0, 0.05));
+  }
+  ASSERT_TRUE(stepped.Finished());
+  const ServingMetrics& st = stepped.Metrics();
+  EXPECT_DOUBLE_EQ(st.makespan_s, run.makespan_s);
+  EXPECT_EQ(st.num_steps, run.num_steps);
+  EXPECT_EQ(st.total_output_tokens, run.total_output_tokens);
+  EXPECT_EQ(st.num_preemptions, run.num_preemptions);
+  EXPECT_EQ(st.rejected_requests, run.rejected_requests);
+  ASSERT_EQ(st.ttft_ms.size(), run.ttft_ms.size());
+  for (size_t i = 0; i < st.ttft_ms.size(); ++i) {
+    EXPECT_DOUBLE_EQ(st.ttft_ms[i], run.ttft_ms[i]) << "ttft " << i;
+  }
+  ASSERT_EQ(st.itl_ms.size(), run.itl_ms.size());
+  for (size_t i = 0; i < st.itl_ms.size(); ++i) {
+    EXPECT_DOUBLE_EQ(st.itl_ms[i], run.itl_ms[i]) << "itl " << i;
+  }
+}
+
+void RunClusterTrial(uint64_t seed) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  g_current_seed = seed;
+  Rng rng(seed);
+  cluster::ClusterConfig cfg;
+  cfg.engine = RandomConfig(rng);
+  cfg.num_replicas = 4;
+  const double u = rng.NextDouble();
+  cfg.policy = u < 0.34   ? cluster::RouterPolicy::kRoundRobin
+               : u < 0.67 ? cluster::RouterPolicy::kLeastLoaded
+                          : cluster::RouterPolicy::kPrefixAffinity;
+
+  serving::TenantPoolConfig tcfg;
+  tcfg.num_tenants = static_cast<int>(rng.UniformInt(4, 12));
+  auto reqs = serving::MultiTenantWorkload(
+      rng, static_cast<int>(rng.UniformInt(30, 60)), rng.Uniform(20.0, 60.0), tcfg);
+  serving::AssignPriorities(rng, reqs, {0.7, 0.3});
+  serving::AssignAcceptance(rng, reqs, 0.3, 0.95);
+
+  cluster::ClusterEngine cluster(cfg);
+  const auto m = cluster.Run(reqs);
+
+  // Routed everywhere it was asked; every admitted request completed.
+  EXPECT_EQ(m.router.routed, static_cast<int64_t>(reqs.size()));
+  EXPECT_EQ(m.aggregate.ttft_ms.size() +
+                static_cast<size_t>(m.aggregate.rejected_requests),
+            reqs.size());
+  EXPECT_EQ(m.aggregate.ttft_ms.size(), m.aggregate.ttft_priority.size());
+  EXPECT_EQ(m.aggregate.num_swap_restores + m.aggregate.num_recompute_restores,
+            m.aggregate.num_preemptions);
+  int64_t per_replica_requests = 0;
+  for (int64_t n : m.replica_requests) per_replica_requests += n;
+  EXPECT_EQ(per_replica_requests, static_cast<int64_t>(reqs.size()));
+}
+
+int TrialCount() {
+  const char* env = std::getenv("FI_SOAK_TRIALS");
+  if (env == nullptr) return 50;
+  return std::max(0, std::atoi(env));
+}
+
+// Three pinned seeds, always on (CI's sanitizer job runs exactly these by
+// setting FI_SOAK_TRIALS=0). Each is checked for Run ≡ StepTo too.
+TEST(Soak, PinnedSeeds) {
+  for (const uint64_t seed : {0xC0FFEEull, 0xBADF00Dull, 0x5EED42ull}) {
+    RunEngineTrial(seed, /*check_step_equiv=*/true);
+    if (::testing::Test::HasFatalFailure()) return;
+    RunClusterTrial(seed ^ 0xA5A5A5A5ull);
+  }
+}
+
+TEST(Soak, RandomizedEngineTrials) {
+  const int trials = TrialCount();
+  for (int i = 0; i < trials; ++i) {
+    // Deterministic seed schedule: trial i always replays identically.
+    RunEngineTrial(0x50AC0000ull + static_cast<uint64_t>(i),
+                   /*check_step_equiv=*/i % 5 == 0);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(Soak, RandomizedClusterTrials) {
+  const int trials = (TrialCount() + 5) / 6;  // ~1 cluster trial per 6 engine.
+  for (int i = 0; i < trials; ++i) {
+    RunClusterTrial(0xC105E0ull + static_cast<uint64_t>(i));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace flashinfer
