@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "gpusim/device.h"
+#include "util/json.h"
 #include "util/table.h"
 
 namespace flashinfer::bench {
@@ -42,12 +43,10 @@ inline bool HasFlag(int argc, char** argv, const char* flag) {
 class JsonResult {
  public:
   void Add(const std::string& key, double value) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.6g", value);
-    fields_.emplace_back(key, buf);
+    fields_.emplace_back(key, util::JsonNum(value));
   }
   void Add(const std::string& key, const std::string& value) {
-    fields_.emplace_back(key, "\"" + value + "\"");
+    fields_.emplace_back(key, "\"" + util::JsonEscape(value) + "\"");
   }
 
   /// Writes `{ "k": v, ... }`; returns false (with a message) on I/O error.
@@ -61,7 +60,7 @@ class JsonResult {
     }
     std::fprintf(f, "{\n");
     for (size_t i = 0; i < fields_.size(); ++i) {
-      std::fprintf(f, "  \"%s\": %s%s\n", fields_[i].first.c_str(),
+      std::fprintf(f, "  \"%s\": %s%s\n", util::JsonEscape(fields_[i].first).c_str(),
                    fields_[i].second.c_str(), i + 1 < fields_.size() ? "," : "");
     }
     std::fprintf(f, "}\n");

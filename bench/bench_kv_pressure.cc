@@ -17,11 +17,17 @@
 //      preempting engine sustains >= 70% of the unconstrained-budget
 //      tokens/s on the same feasible workload.
 //
-// Usage: bench_kv_pressure [--quick] [--json <path>]
+// Usage: bench_kv_pressure [--quick] [--json <path>] [--trace <path>]
+//
+// --trace re-runs the pressure workload on a 2-replica preemption-enabled
+// cluster with tracing on and writes a Chrome/Perfetto trace-event JSON
+// artifact (open in ui.perfetto.dev); CI schema-checks it.
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "cluster/cluster.h"
+#include "obs/export.h"
 #include "serving/engine.h"
 
 using namespace flashinfer;
@@ -136,9 +142,33 @@ const char* RestoreName(RestorePolicy p) {
 
 }  // namespace
 
+/// Traced 2-replica cluster over the feasible pressure workload; the exported
+/// Perfetto JSON is the CI trace artifact (replica step/phase/KV tracks plus
+/// the router-decision track).
+bool WriteTraceArtifact(const char* path, const std::vector<Request>& reqs,
+                        int64_t budget) {
+  cluster::ClusterConfig ccfg;
+  ccfg.engine = BaseConfig();
+  ccfg.engine.preemption.enabled = true;
+  ccfg.engine.hbm_capacity_gb = HbmForBudget(ccfg.engine, budget);
+  ccfg.engine.trace.enabled = true;
+  ccfg.num_replicas = 2;
+  cluster::ClusterEngine engine(ccfg);
+  const auto m = engine.Run(FeasibleSubset(reqs, budget));
+  if (!obs::WritePerfettoFile(path, engine.LastTrace())) {
+    std::printf("FAILED to write trace artifact to %s\n", path);
+    return false;
+  }
+  std::printf("\ntrace artifact: %s (%zu tracks, %lld preemptions traced)\n",
+              path, engine.LastTrace().size(),
+              static_cast<long long>(m.aggregate.num_preemptions));
+  return true;
+}
+
 int main(int argc, char** argv) {
   const bool quick = bench::HasFlag(argc, argv, "--quick");
   const char* json_path = bench::ArgValue(argc, argv, "--json");
+  const char* trace_path = bench::ArgValue(argc, argv, "--trace");
 
   bench::Banner("KV pressure",
                 "priority preemption + swap-vs-recompute over a two-tier KV");
@@ -319,6 +349,13 @@ int main(int argc, char** argv) {
   const bool ok =
       gate_wedge && gate_goodput && mix_monotone && gate_short && gate_long && gate_auto;
   json.Add("acceptance_passed", ok ? 1.0 : 0.0);
+  // The artifact uses the tightest budget so the trace actually shows the
+  // preemption/KV machinery in action (the 14k gate budget rarely preempts
+  // once the load is split across two replicas).
+  if (trace_path != nullptr &&
+      !WriteTraceArtifact(trace_path, workload, budgets.front())) {
+    return 1;
+  }
   if (!json.WriteTo(json_path)) return 1;
   if (!ok) {
     std::printf("ACCEPTANCE FAILED\n");

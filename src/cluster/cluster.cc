@@ -48,6 +48,8 @@ ClusterMetrics ClusterEngine::Run(const std::vector<Request>& workload) {
 
   int64_t matched_prompt_tokens = 0;
   int64_t total_prompt_tokens = 0;
+  const bool tracing = cfg_.engine.trace.enabled;
+  std::vector<obs::TraceEvent> router_events;
 
   for (const Request& r : sorted) {
     // Advance every replica to this arrival: each executes the steps it
@@ -90,11 +92,30 @@ ClusterMetrics ClusterEngine::Run(const std::vector<Request>& workload) {
         rep.prefix_cache.EvictLru(rep.prefix_cache.TotalCachedPages() - cache_pages);
       }
     }
+    if (tracing) {
+      obs::TraceEvent e;
+      e.ts_us = r.arrival_s * 1e6;
+      e.name = obs::TraceName::kRouteDecision;
+      e.req = r.id;
+      e.a = target;
+      e.b = routed.cached_prefix_len;
+      router_events.push_back(e);
+    }
     rep.engine.Admit(routed);
     ++rep.requests;
   }
 
   for (auto& rep : replicas_) rep->engine.Drain();
+
+  // --- Merged trace: one track per replica plus the router's decisions. ----
+  last_trace_.clear();
+  if (tracing) {
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      last_trace_.push_back(
+          {"replica " + std::to_string(i), replicas_[i]->engine.TraceEvents()});
+    }
+    last_trace_.push_back({"router", std::move(router_events)});
+  }
 
   // --- Aggregate ------------------------------------------------------------
   ClusterMetrics out;

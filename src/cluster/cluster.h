@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "cluster/router.h"
+#include "obs/export.h"
 #include "serving/engine.h"
 
 namespace flashinfer::cluster {
@@ -73,12 +74,21 @@ class ClusterEngine {
   /// Routes and simulates the full workload across all replicas.
   ClusterMetrics Run(const std::vector<serving::Request>& workload);
 
+  /// Merged trace of the last Run(): one track per replica ("replica i",
+  /// that engine's events) plus a "router" track of kRouteDecision instants
+  /// stamped at each request's arrival (a=target replica, b=matched prefix
+  /// tokens). Empty when `cfg.engine.trace` is disabled.
+  const std::vector<obs::TraceTrack>& LastTrace() const noexcept {
+    return last_trace_;
+  }
+
  private:
   struct Replica;
 
   ClusterConfig cfg_;
   std::unique_ptr<Router> router_;
   std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<obs::TraceTrack> last_trace_;
 };
 
 }  // namespace flashinfer::cluster

@@ -1,0 +1,123 @@
+#include "obs/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/check.h"
+
+namespace flashinfer::obs {
+
+TimeSeries::TimeSeries(double bucket_s) : bucket_s_(bucket_s) {
+  FI_CHECK_GT(bucket_s, 0.0);
+}
+
+void TimeSeries::Add(double t_s, double v) {
+  FI_CHECK_GE(t_s, 0.0);
+  const auto idx = static_cast<size_t>(t_s / bucket_s_);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1);
+  Bucket& b = buckets_[idx];
+  b.sum += v;
+  b.max = b.count == 0 ? v : std::max(b.max, v);
+  ++b.count;
+}
+
+double TimeSeries::Mean(int64_t i) const {
+  const Bucket& b = buckets_[static_cast<size_t>(i)];
+  return b.count > 0 ? b.sum / static_cast<double>(b.count) : 0.0;
+}
+
+std::string TimeSeries::ToString(const std::string& label) const {
+  std::string out = label + " (bucket " + std::to_string(bucket_s_) + " s)\n";
+  char line[160];
+  for (int64_t i = 0; i < NumBuckets(); ++i) {
+    std::snprintf(line, sizeof(line),
+                  "  [%8.3f,%8.3f) n=%-6lld sum=%-12.4g mean=%-12.4g max=%-12.4g\n",
+                  BucketStartS(i), BucketStartS(i + 1),
+                  static_cast<long long>(Count(i)), Sum(i), Mean(i), Max(i));
+    out += line;
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, double growth)
+    : lo_(lo), growth_(growth), log_growth_(std::log(growth)) {
+  FI_CHECK_GT(lo, 0.0);
+  FI_CHECK_GT(hi, lo);
+  FI_CHECK_GT(growth, 1.0);
+  regular_ = static_cast<int64_t>(std::ceil(std::log(hi / lo) / log_growth_));
+  counts_.assign(static_cast<size_t>(regular_) + 2, 0);
+}
+
+Histogram Histogram::FromSamples(const std::vector<double>& samples) {
+  Histogram h;
+  for (double v : samples) h.Add(v);
+  return h;
+}
+
+int64_t Histogram::IndexOf(double v) const {
+  if (!(v >= lo_)) return 0;  // Underflow (also catches NaN / negatives).
+  const auto i = static_cast<int64_t>(std::floor(std::log(v / lo_) / log_growth_));
+  if (i >= regular_) return regular_ + 1;  // Overflow.
+  return i + 1;
+}
+
+void Histogram::Add(double v) {
+  ++counts_[static_cast<size_t>(IndexOf(v))];
+  min_ = count_ == 0 ? v : std::min(min_, v);
+  max_ = count_ == 0 ? v : std::max(max_, v);
+  sum_ += v;
+  ++count_;
+}
+
+double Histogram::BucketLowerEdge(int64_t i) const {
+  if (i <= 0) return 0.0;
+  return lo_ * std::exp(static_cast<double>(i - 1) * log_growth_);
+}
+
+double Histogram::Quantile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::min(1.0, std::max(0.0, p));
+  const double target = p * static_cast<double>(count_ - 1) + 1.0;
+  double seen = 0.0;
+  for (int64_t i = 0; i < NumBuckets(); ++i) {
+    const double n = static_cast<double>(counts_[static_cast<size_t>(i)]);
+    if (n == 0.0) continue;
+    if (seen + n >= target) {
+      // Geometric interpolation across the containing bucket's span.
+      const double frac = (target - seen) / n;
+      const double edge_lo = std::max(BucketLowerEdge(i), min_);
+      const double edge_hi = std::min(
+          i >= regular_ + 1 ? max_ : lo_ * std::exp(static_cast<double>(i) * log_growth_),
+          max_);
+      if (edge_lo <= 0.0 || edge_hi <= edge_lo) return std::min(edge_hi, max_);
+      return std::min(max_, edge_lo * std::pow(edge_hi / edge_lo, frac));
+    }
+    seen += n;
+  }
+  return max_;
+}
+
+std::string Histogram::ToString(const std::string& label) const {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "%s: n=%lld min=%.4g p50=%.4g p90=%.4g p99=%.4g max=%.4g mean=%.4g\n",
+                label.c_str(), static_cast<long long>(count_), MinValue(), Quantile(0.5),
+                Quantile(0.9), Quantile(0.99), MaxValue(), Mean());
+  std::string out = line;
+  for (int64_t i = 0; i < NumBuckets(); ++i) {
+    const int64_t n = counts_[static_cast<size_t>(i)];
+    if (n == 0) continue;
+    const double e0 = BucketLowerEdge(i);
+    const double e1 = i >= regular_ + 1
+                          ? std::numeric_limits<double>::infinity()
+                          : lo_ * std::exp(static_cast<double>(i) * log_growth_);
+    std::snprintf(line, sizeof(line), "  [%10.4g,%10.4g) %lld\n", e0, e1,
+                  static_cast<long long>(n));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace flashinfer::obs

@@ -1,0 +1,94 @@
+// Time-series + histogram accumulators for serving telemetry.
+//
+// TimeSeries buckets samples into fixed-width simulated-time bins (sum,
+// count, max per bin) — the printable form of a counter track, and the thing
+// a bench prints so two runs can be diffed bin-by-bin. Histogram is
+// log-bucketed (geometric bucket edges), the right shape for latency
+// distributions whose tails span orders of magnitude: TTFT/ITL histograms
+// stay a few dozen buckets whether the tail is 10 ms or 10 s, so CI can diff
+// the printed form across PRs without quantile jitter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flashinfer::obs {
+
+/// Fixed-width time-bucket accumulator.
+class TimeSeries {
+ public:
+  explicit TimeSeries(double bucket_s);
+
+  /// Accumulates `v` into the bucket containing time `t_s` (t_s >= 0).
+  void Add(double t_s, double v);
+
+  double bucket_s() const noexcept { return bucket_s_; }
+  /// Buckets up to the last one touched (leading/interior empties included).
+  int64_t NumBuckets() const noexcept { return static_cast<int64_t>(buckets_.size()); }
+  double BucketStartS(int64_t i) const { return static_cast<double>(i) * bucket_s_; }
+  int64_t Count(int64_t i) const { return buckets_[static_cast<size_t>(i)].count; }
+  double Sum(int64_t i) const { return buckets_[static_cast<size_t>(i)].sum; }
+  double Max(int64_t i) const { return buckets_[static_cast<size_t>(i)].max; }
+  double Mean(int64_t i) const;
+  /// Sum normalized by the bucket width: a per-second rate.
+  double RatePerS(int64_t i) const { return Sum(i) / bucket_s_; }
+
+  /// One line per bucket: "[t0,t1) count sum mean max".
+  std::string ToString(const std::string& label) const;
+
+ private:
+  struct Bucket {
+    double sum = 0.0;
+    double max = 0.0;
+    int64_t count = 0;
+  };
+  double bucket_s_ = 1.0;
+  std::vector<Bucket> buckets_;
+};
+
+/// Log-bucketed histogram: bucket i spans [lo*growth^i, lo*growth^(i+1)),
+/// with explicit underflow/overflow buckets, exact min/max/sum tracking, and
+/// geometric interpolation for quantiles.
+class Histogram {
+ public:
+  /// `lo` > 0 is the lower edge of the first regular bucket, `hi` the upper
+  /// edge of the last, `growth` > 1 the bucket ratio. Defaults resolve
+  /// latencies from 10 us to ~100 s at ~19% relative resolution.
+  explicit Histogram(double lo = 1e-2, double hi = 1e5, double growth = 1.1892071150027210667);
+
+  static Histogram FromSamples(const std::vector<double>& samples);
+
+  void Add(double v);
+
+  int64_t Count() const noexcept { return count_; }
+  double MinValue() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  double MaxValue() const noexcept { return count_ > 0 ? max_ : 0.0; }
+  double Mean() const noexcept { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  /// Quantile estimate, p in [0,1]: geometric interpolation inside the
+  /// containing bucket, clamped to the exact observed min/max.
+  double Quantile(double p) const;
+
+  int64_t NumBuckets() const noexcept { return static_cast<int64_t>(counts_.size()); }
+  int64_t BucketCount(int64_t i) const { return counts_[static_cast<size_t>(i)]; }
+  /// Lower edge of bucket i (0 for the underflow bucket).
+  double BucketLowerEdge(int64_t i) const;
+
+  /// Compact printable form (one line per non-empty bucket plus summary
+  /// quantiles) — stable across runs with identical samples, so CI diffs it.
+  std::string ToString(const std::string& label) const;
+
+ private:
+  /// Bucket index for value v: 0 = underflow, 1..n = regular, n+1 = overflow.
+  int64_t IndexOf(double v) const;
+
+  double lo_ = 0.0, growth_ = 2.0, log_growth_ = 0.0;
+  int64_t regular_ = 0;  // Regular (non-under/overflow) bucket count.
+  std::vector<int64_t> counts_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+}  // namespace flashinfer::obs

@@ -117,6 +117,43 @@ double ServingEngine::SpecVerifyAttnUs() const {
   return t;
 }
 
+void ServingEngine::TraceSpan(obs::TraceName n, double begin_s, double end_s,
+                              int32_t req, int64_t a, int64_t b,
+                              int64_t c) noexcept {
+  if (!trace_) return;
+  obs::TraceEvent e;
+  e.ts_us = begin_s * 1e6;
+  e.dur_us = (end_s - begin_s) * 1e6;
+  e.name = n;
+  e.req = req;
+  e.a = a;
+  e.b = b;
+  e.c = c;
+  trace_->Record(e);
+}
+
+void ServingEngine::TraceInstant(obs::TraceName n, int32_t req, int64_t a,
+                                 int64_t b, int64_t c) noexcept {
+  if (!trace_) return;
+  obs::TraceEvent e;
+  e.ts_us = now_s_ * 1e6;
+  e.name = n;
+  e.req = req;
+  e.a = a;
+  e.b = b;
+  e.c = c;
+  trace_->Record(e);
+}
+
+void ServingEngine::TraceCounter(obs::TraceName n, double v) noexcept {
+  if (!trace_) return;
+  obs::TraceEvent e;
+  e.ts_us = now_s_ * 1e6;
+  e.name = n;
+  e.v = v;
+  trace_->Record(e);
+}
+
 void ServingEngine::Reset() {
   pending_.clear();
   prefilling_.clear();
@@ -131,6 +168,15 @@ void ServingEngine::Reset() {
   next_preempt_order_ = 0;
   next_group_ = 0;
   rng_ = Rng(cfg_.spec.seed);
+  if (cfg_.trace.enabled) {
+    if (trace_ && trace_->capacity() == cfg_.trace.capacity) {
+      trace_->Clear();
+    } else {
+      trace_ = std::make_unique<obs::TraceRecorder>(cfg_.trace.capacity);
+    }
+  } else {
+    trace_.reset();
+  }
   if (cfg_.spec.enabled || cfg_.preemption.enabled) {
     if (cfg_.spec.enabled) {
       metrics_.accepted_len_hist.assign(static_cast<size_t>(tree_->Depth()) + 1, 0);
@@ -214,6 +260,9 @@ int64_t ServingEngine::RunningTokens() const noexcept {
 }
 
 void ServingEngine::FinishBranch(const Branch& b) {
+  TraceSpan(obs::TraceName::kReqDecode, b.seg_start_s, now_s_, b.request_id,
+            b.kv_len);
+  TraceInstant(obs::TraceName::kReqFinish, b.request_id);
   if (b.group < 0) {
     // Release the branch's pages plus its admission slack (charged as
     // parallel_n * slack_tokens_ at admission; leaking it would shrink
@@ -300,6 +349,7 @@ void ServingEngine::AdmitArrived() {
       // would wedge the queue forever (the pre-preemption engine aborted on
       // an FI_CHECK when this state was reached). Refuse it and move on.
       ++metrics_.rejected_requests;
+      TraceInstant(obs::TraceName::kReqReject, r.id, need, kv_token_budget_);
       pending_.pop_front();
       continue;
     }
@@ -319,9 +369,12 @@ void ServingEngine::AdmitArrived() {
     kv_tokens_in_use_ += need;
     step_tokens += new_tokens;
     ++admitted;
+    TraceSpan(obs::TraceName::kReqQueued, r.arrival_s, now_s_, r.id);
+    TraceInstant(obs::TraceName::kReqAdmit, r.id, new_tokens, need);
     PrefillProgress p;
     p.req = r;
     p.to_compute = new_tokens;
+    p.phase_start_s = now_s_;
     prefilling_.push_back(std::move(p));
     pending_.pop_front();
   }
@@ -338,9 +391,15 @@ void ServingEngine::RestorePreempted() {
     if (kv_tokens_in_use_ + p.reserve > kv_token_budget_) break;
     kv_tokens_in_use_ += p.reserve;
     Branch b = p.branch;
+    TraceSpan(obs::TraceName::kReqPreempted, p.evicted_s, now_s_, b.request_id,
+              b.kv_len, p.swapped ? 1 : 0);
+    TraceInstant(p.swapped ? obs::TraceName::kKvRestoreSwap
+                           : obs::TraceName::kKvRestoreRecompute,
+                 b.request_id, b.kv_len);
     PrefillProgress pp;
     pp.restore = true;
     pp.branch = b;
+    pp.phase_start_s = now_s_;
     pp.req.id = b.request_id;
     pp.req.arrival_s = now_s_;
     pp.req.output_len = b.remaining;
@@ -413,7 +472,11 @@ void ServingEngine::PreemptBranch(size_t running_idx) {
   const int64_t reserve = b.kv_len + b.remaining + slack_tokens_;
   kv_tokens_in_use_ -= reserve;
   ++metrics_.num_preemptions;
-  metrics_.evicted_pages += (b.kv_len + cfg_.page_size - 1) / cfg_.page_size;
+  const int64_t evicted_pages = (b.kv_len + cfg_.page_size - 1) / cfg_.page_size;
+  metrics_.evicted_pages += evicted_pages;
+  // The eviction closes the branch's current decode segment.
+  TraceSpan(obs::TraceName::kReqDecode, b.seg_start_s, now_s_, b.request_id,
+            b.kv_len);
 
   // Swap vs recompute, decided at eviction time (the host copy either exists
   // later or it does not): swap pays two transfers + latency; recompute pays
@@ -435,10 +498,14 @@ void ServingEngine::PreemptBranch(size_t running_idx) {
     swap = false;
   }
 
+  TraceInstant(swap ? obs::TraceName::kKvEvictSwap : obs::TraceName::kKvEvictDrop,
+               b.request_id, b.kv_len, evicted_pages);
+
   Preempted p;
   p.swapped = swap;
   p.reserve = reserve;
   p.order = next_preempt_order_++;
+  p.evicted_s = now_s_;
   if (swap) {
     host_kv_tokens_in_use_ += b.kv_len;
     const double t_us = SwapUs(b.kv_len);
@@ -532,6 +599,8 @@ ServingEngine::StepKind ServingEngine::StepOnce() {
 }
 
 void ServingEngine::ExecuteStepPlan(const StepPlan& plan) {
+  const double t0_s = now_s_;
+  const int64_t toks_before = metrics_.total_output_tokens;
   const bool spec_step = plan.decode && cfg_.spec.enabled;
   const size_t decode_branches = plan.decode ? running_.size() : 0;
   const int64_t decode_tokens =
@@ -651,6 +720,48 @@ void ServingEngine::ExecuteStepPlan(const StepPlan& plan) {
   // Preempted branches sat this work step out entirely.
   metrics_.preempt_stall_steps += static_cast<int64_t>(preempted_.size());
 
+  if (trace_) {
+    const int64_t stalled = (!plan.decode && !running_.empty())
+                                ? static_cast<int64_t>(running_.size())
+                                : 0;
+    obs::TraceEvent step;
+    step.ts_us = t0_s * 1e6;
+    step.dur_us = step_s * 1e6;
+    step.name = obs::TraceName::kStep;
+    step.flags = static_cast<uint16_t>((spec_step ? obs::kStepFlagSpec : 0) |
+                                       (swap_us > 0.0 ? obs::kStepFlagSwap : 0));
+    step.a = plan.prefill_tokens;
+    step.b = static_cast<int64_t>(decode_branches);
+    step.c = stalled;
+    step.d = static_cast<int64_t>(preempted_.size());
+    trace_->Record(step);
+    // Phase spans laid end-to-end inside the step: step_s is exactly their
+    // sum, so they tile [t0, t1] (zero-cost phases are skipped).
+    double t_us = t0_s * 1e6;
+    auto phase = [this, &t_us](obs::TraceName n, double us) {
+      if (us > 0.0) {
+        obs::TraceEvent e;
+        e.ts_us = t_us;
+        e.dur_us = us;
+        e.name = n;
+        trace_->Record(e);
+      }
+      t_us += us;
+    };
+    phase(obs::TraceName::kPhaseDraft, draft_us);
+    phase(obs::TraceName::kPhaseAttn, attn_us);
+    phase(obs::TraceName::kPhaseGemm, gemm_us);
+    phase(obs::TraceName::kPhaseComm, comm_us);
+    phase(obs::TraceName::kPhaseSwap, swap_us);
+    phase(obs::TraceName::kPhaseHost, host_us);
+    for (const auto& c : plan.chunks) {
+      const auto& p = prefilling_[c.prefill_idx];
+      TraceInstant(obs::TraceName::kChunk, p.req.id, c.tokens,
+                   c.completes ? 1 : 0,
+                   p.restore ? (p.swap_restore ? 2 : 1) : 0);
+    }
+  }
+
   // --- Decode commit. ------------------------------------------------------
   if (plan.decode) {
     if (spec_step) {
@@ -691,9 +802,16 @@ void ServingEngine::ExecuteStepPlan(const StepPlan& plan) {
           spec_kv_->ExtendSequence(b.spec_seq, b.kv_len);
         }
       }
+      TraceSpan(p.swap_restore ? obs::TraceName::kReqSwapIn
+                               : obs::TraceName::kReqRecompute,
+                p.phase_start_s, now_s_, b.request_id, b.kv_len);
+      b.seg_start_s = now_s_;  // The restored decode segment starts here.
       ResumeBranch(b);
     } else {
       if (p.chunks_used > 1) ++metrics_.chunked_requests;
+      TraceSpan(obs::TraceName::kReqPrefill, p.phase_start_s, now_s_, p.req.id,
+                p.computed, CachedTokens(p.req), p.chunks_used);
+      TraceInstant(obs::TraceName::kReqFirstToken, p.req.id);
       CompletePrefill(p.req);
     }
     done.push_back(c.prefill_idx);
@@ -705,12 +823,29 @@ void ServingEngine::ExecuteStepPlan(const StepPlan& plan) {
     prefilling_.erase(prefilling_.begin() + static_cast<std::ptrdiff_t>(*it));
   }
   metrics_.makespan_s = now_s_;
+
+  if (trace_) {
+    // Post-step state snapshot, one sample per counter per executed step.
+    TraceCounter(obs::TraceName::kCtrKvDevice,
+                 static_cast<double>(kv_tokens_in_use_));
+    TraceCounter(obs::TraceName::kCtrKvHost,
+                 static_cast<double>(host_kv_tokens_in_use_));
+    TraceCounter(obs::TraceName::kCtrQueueDepth,
+                 static_cast<double>(pending_.size()));
+    TraceCounter(obs::TraceName::kCtrRunning, static_cast<double>(running_.size()));
+    TraceCounter(obs::TraceName::kCtrPreempted,
+                 static_cast<double>(preempted_.size()));
+    TraceCounter(obs::TraceName::kCtrTokPerS,
+                 step_s > 0.0 ? static_cast<double>(metrics_.total_output_tokens -
+                                                    toks_before) /
+                                    step_s
+                              : 0.0);
+  }
 }
 
 void ServingEngine::CompletePrefill(const Request& r) {
   // The request's first token is produced by its last chunk.
-  metrics_.ttft_ms.push_back((now_s_ - r.arrival_s) * 1e3);
-  metrics_.ttft_priority.push_back(r.priority);
+  metrics_.AddTtft((now_s_ - r.arrival_s) * 1e3, r.priority);
   ++metrics_.total_output_tokens;
   metrics_.cached_prefix_tokens += CachedTokens(r);
   const int group = r.parallel_n > 1 ? next_group_++ : -1;
@@ -732,6 +867,7 @@ void ServingEngine::CompletePrefill(const Request& r) {
     b.last_emit_s = now_s_;
     b.priority = r.priority;
     b.arrival_s = r.arrival_s;
+    b.seg_start_s = now_s_;  // First decode segment opens at the first token.
     if (spec_kv_) {
       b.accept_prob =
           r.accept_prob >= 0.0 ? r.accept_prob : cfg_.spec.default_accept_prob;

@@ -62,6 +62,7 @@
 #include <vector>
 
 #include "kvcache/paged.h"
+#include "obs/trace.h"
 #include "serving/backends.h"
 #include "serving/metrics.h"
 #include "serving/model.h"
@@ -147,6 +148,11 @@ struct EngineConfig {
   spec::SpecDecodeConfig spec;
   /// Priority preemption + host KV tier (off by default).
   PreemptionConfig preemption;
+  /// Event tracing (off by default: zero events, zero behavior change — the
+  /// enabled/disabled metric equivalence is pinned by tests). When enabled,
+  /// the engine records request/step/KV events into a bounded ring buffer in
+  /// simulated time; export via obs::WritePerfettoFile(TraceEvents()).
+  obs::TraceConfig trace;
 };
 
 class ServingEngine {
@@ -240,6 +246,17 @@ class ServingEngine {
     return spec_kv_ ? spec_kv_->num_live_pages() : 0;
   }
 
+  // --- Tracing --------------------------------------------------------------
+
+  /// The recorder, or nullptr when EngineConfig::trace is disabled.
+  const obs::TraceRecorder* Trace() const noexcept { return trace_.get(); }
+
+  /// Copy of the recorded events since the last Reset(), oldest first (empty
+  /// when tracing is disabled).
+  std::vector<obs::TraceEvent> TraceEvents() const {
+    return trace_ ? trace_->Events() : std::vector<obs::TraceEvent>{};
+  }
+
  private:
   struct Branch {
     int request_id = 0;
@@ -253,6 +270,7 @@ class ServingEngine {
     int spec_seq = -1;         // Structural KV: sequence id in spec_kv_.
     int priority = 0;          // Preemption: request priority.
     double arrival_s = 0.0;    // Preemption: victim tie-break (youngest).
+    double seg_start_s = 0.0;  // Trace: start of the current decode segment.
   };
 
   /// Admitted request whose prompt is (possibly partially) prefilled; lives
@@ -272,6 +290,7 @@ class ServingEngine {
     bool restore = false;    // Restore of a preempted branch.
     bool swap_restore = false;  // Swap-in transfer (vs recompute).
     Branch branch;           // Valid when restore == true.
+    double phase_start_s = 0.0;  // Trace: admission / restore-start time.
   };
 
   /// A branch evicted under KV pressure, waiting to re-enter.
@@ -280,6 +299,7 @@ class ServingEngine {
     bool swapped = false;   // Host copy exists: restore = swap-in transfer.
     int64_t reserve = 0;    // Device KV charge to re-acquire on restore.
     int64_t order = 0;      // FIFO tie-break within a priority level.
+    double evicted_s = 0.0;  // Trace: eviction time (preempted-span begin).
   };
 
   /// One step's assembled work: which prefill chunks run and whether the
@@ -353,6 +373,13 @@ class ServingEngine {
   /// Admission KV charge for `r` under the active reservation policy.
   int64_t KvNeed(const Request& r) const noexcept;
 
+  // --- Trace emission (no-ops when tracing is disabled: one branch each). ---
+  void TraceSpan(obs::TraceName n, double begin_s, double end_s, int32_t req,
+                 int64_t a = 0, int64_t b = 0, int64_t c = 0) noexcept;
+  void TraceInstant(obs::TraceName n, int32_t req, int64_t a = 0,
+                    int64_t b = 0, int64_t c = 0) noexcept;
+  void TraceCounter(obs::TraceName n, double v) noexcept;
+
   /// Assembles the next step's unified batch from prefilling_ and running_.
   StepPlan FormStepPlan() const;
 
@@ -418,6 +445,9 @@ class ServingEngine {
   /// evicts/restores, so rollback and swap exercise the real refcount and
   /// two-tier machinery. Null when both spec decode and preemption are off.
   std::unique_ptr<PagedKVCache> spec_kv_;
+  /// Event recorder; null when EngineConfig::trace is disabled (every
+  /// emission site is gated on this pointer).
+  std::unique_ptr<obs::TraceRecorder> trace_;
 };
 
 }  // namespace flashinfer::serving

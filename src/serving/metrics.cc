@@ -5,19 +5,20 @@
 
 namespace flashinfer::serving {
 
-double Percentile(std::vector<double> values, double p) {
+double Percentile(const std::vector<double>& values, double p) {
   if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const double idx = p * static_cast<double>(values.size() - 1);
+  std::vector<double> sorted(values);
+  std::sort(sorted.begin(), sorted.end());
+  const double idx = p * static_cast<double>(sorted.size() - 1);
   const size_t lo = static_cast<size_t>(std::floor(idx));
   // Clamp: for p = 1.0, floating-point rounding in `idx` can push ceil() one
   // past the last order statistic.
-  const size_t hi = std::min(static_cast<size_t>(std::ceil(idx)), values.size() - 1);
+  const size_t hi = std::min(static_cast<size_t>(std::ceil(idx)), sorted.size() - 1);
   const double frac = idx - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
-double Median(std::vector<double> values) { return Percentile(std::move(values), 0.5); }
+double Median(const std::vector<double>& values) { return Percentile(values, 0.5); }
 
 double Mean(const std::vector<double>& values) {
   if (values.empty()) return 0.0;

@@ -7,11 +7,15 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/check.h"
+
 namespace flashinfer::serving {
 
-/// p in [0,1]; linear interpolation between order statistics.
-double Percentile(std::vector<double> values, double p);
-double Median(std::vector<double> values);
+/// p in [0,1]; linear interpolation between order statistics. Takes the
+/// samples by const reference (sorting an internal copy) — callers pass
+/// metric vectors that can hold one sample per emitted token.
+double Percentile(const std::vector<double>& values, double p);
+double Median(const std::vector<double>& values);
 double Mean(const std::vector<double>& values);
 
 /// Aggregated serving metrics for one run.
@@ -98,6 +102,14 @@ struct ServingMetrics {
   /// Draft-model time (GEMM + per-pass host), milliseconds.
   double total_draft_ms = 0.0;
 
+  /// The only sanctioned way to record a TTFT sample: keeps ttft_ms and
+  /// ttft_priority in lockstep (every consumer that splits the tail by
+  /// priority indexes one with the other).
+  void AddTtft(double ms, int priority) {
+    ttft_ms.push_back(ms);
+    ttft_priority.push_back(priority);
+  }
+
   double MedianTtftMs() const { return Median(ttft_ms); }
   double MedianItlMs() const { return Median(itl_ms); }
   double P99TtftMs() const { return Percentile(ttft_ms, 0.99); }
@@ -137,11 +149,15 @@ struct ServingMetrics {
   // --- Preemption derived metrics ------------------------------------------
   /// TTFT percentile over requests of one priority class (p in [0,1]).
   double TtftPercentileMsForPriority(int priority, double p) const {
+    // Parallel-vector invariant: every TTFT sample carries a priority tag
+    // (AddTtft is the only writer). Silently truncating to the shorter
+    // vector would misattribute tail samples.
+    FI_CHECK_EQ(ttft_ms.size(), ttft_priority.size());
     std::vector<double> v;
-    for (std::size_t i = 0; i < ttft_ms.size() && i < ttft_priority.size(); ++i) {
+    for (std::size_t i = 0; i < ttft_ms.size(); ++i) {
       if (ttft_priority[i] == priority) v.push_back(ttft_ms[i]);
     }
-    return Percentile(std::move(v), p);
+    return Percentile(v, p);
   }
 
   // --- Speculative-decoding derived metrics --------------------------------

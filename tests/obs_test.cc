@@ -1,0 +1,309 @@
+// Unit tests for the observability layer: trace recorder ring semantics,
+// time-series/histogram statistics, the shared JSON escape/parse helpers,
+// exporter output shape, and the TraceQuery accounting primitives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/export.h"
+#include "obs/query.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace flashinfer {
+namespace {
+
+using obs::Histogram;
+using obs::TimeSeries;
+using obs::TraceEvent;
+using obs::TraceKind;
+using obs::TraceName;
+using obs::TraceRecorder;
+using obs::TraceTrack;
+
+TraceEvent Ev(TraceName n, double ts_us, double dur_us = 0.0, int32_t req = -1) {
+  TraceEvent e;
+  e.name = n;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.req = req;
+  return e;
+}
+
+// --- TraceRecorder -----------------------------------------------------------
+
+TEST(TraceRecorder, RecordsInOrderBelowCapacity) {
+  TraceRecorder rec(8);
+  for (int i = 0; i < 5; ++i) rec.Record(Ev(TraceName::kStep, i * 10.0));
+  EXPECT_EQ(rec.size(), 5);
+  EXPECT_EQ(rec.dropped(), 0);
+  const auto events = rec.Events();
+  ASSERT_EQ(events.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(events[i].ts_us, i * 10.0);
+}
+
+TEST(TraceRecorder, RingOverwriteKeepsTrailingWindow) {
+  TraceRecorder rec(4);
+  for (int i = 0; i < 10; ++i) rec.Record(Ev(TraceName::kStep, i * 1.0));
+  EXPECT_EQ(rec.size(), 4);
+  EXPECT_EQ(rec.dropped(), 6);
+  const auto events = rec.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first: events 6..9 survive.
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(events[i].ts_us, 6.0 + i);
+}
+
+TEST(TraceRecorder, ClearResetsCounts) {
+  TraceRecorder rec(4);
+  for (int i = 0; i < 6; ++i) rec.Record(Ev(TraceName::kStep, i));
+  rec.Clear();
+  EXPECT_EQ(rec.size(), 0);
+  EXPECT_EQ(rec.dropped(), 0);
+  EXPECT_TRUE(rec.Events().empty());
+}
+
+TEST(TraceNames, KindPartitionAndStableStrings) {
+  EXPECT_EQ(KindOf(TraceName::kStep), TraceKind::kSpan);
+  EXPECT_EQ(KindOf(TraceName::kPhaseHost), TraceKind::kSpan);
+  EXPECT_EQ(KindOf(TraceName::kReqRecompute), TraceKind::kSpan);
+  EXPECT_EQ(KindOf(TraceName::kChunk), TraceKind::kInstant);
+  EXPECT_EQ(KindOf(TraceName::kRouteDecision), TraceKind::kInstant);
+  EXPECT_EQ(KindOf(TraceName::kCtrKvDevice), TraceKind::kCounter);
+  EXPECT_EQ(KindOf(TraceName::kCtrTokPerS), TraceKind::kCounter);
+  EXPECT_STREQ(TraceNameStr(TraceName::kStep), "step");
+  EXPECT_STREQ(TraceNameStr(TraceName::kReqPreempted), "preempted");
+  EXPECT_STREQ(TraceNameStr(TraceName::kCtrKvDevice), "kv_device_tokens");
+}
+
+// --- TimeSeries --------------------------------------------------------------
+
+TEST(TimeSeries, BucketsSamplesByTime) {
+  TimeSeries ts(1.0);
+  ts.Add(0.1, 2.0);
+  ts.Add(0.9, 4.0);
+  ts.Add(2.5, 10.0);
+  EXPECT_EQ(ts.NumBuckets(), 3);
+  EXPECT_EQ(ts.Count(0), 2);
+  EXPECT_DOUBLE_EQ(ts.Sum(0), 6.0);
+  EXPECT_DOUBLE_EQ(ts.Mean(0), 3.0);
+  EXPECT_DOUBLE_EQ(ts.Max(0), 4.0);
+  EXPECT_EQ(ts.Count(1), 0);  // Empty gap bucket exists.
+  EXPECT_DOUBLE_EQ(ts.Mean(1), 0.0);
+  EXPECT_EQ(ts.Count(2), 1);
+  EXPECT_DOUBLE_EQ(ts.RatePerS(2), 10.0);  // Sum per second of bucket.
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(Histogram, QuantilesBracketSamples) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i));
+  EXPECT_EQ(h.Count(), 1000);
+  // Log-bucketed quantiles are approximate: within one growth factor.
+  EXPECT_NEAR(h.Quantile(0.5), 500.0, 500.0 * 0.2);
+  EXPECT_NEAR(h.Quantile(0.99), 990.0, 990.0 * 0.2);
+  // Quantiles are clamped to the observed range.
+  EXPECT_GE(h.Quantile(0.0), 1.0 * 0.8);
+  EXPECT_LE(h.Quantile(1.0), 1000.0 * 1.2);
+}
+
+TEST(Histogram, UnderflowAndOverflowCounted) {
+  Histogram h(/*lo=*/1.0, /*hi=*/100.0);
+  h.Add(0.001);
+  h.Add(10.0);
+  h.Add(1e6);
+  EXPECT_EQ(h.Count(), 3);
+  EXPECT_EQ(h.BucketCount(0), 1);                    // Underflow bucket.
+  EXPECT_EQ(h.BucketCount(h.NumBuckets() - 1), 1);   // Overflow bucket.
+}
+
+TEST(Histogram, FromSamplesMatchesPercentileRoughly) {
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(5.0 + (i % 50));
+  const Histogram h = Histogram::FromSamples(samples);
+  EXPECT_EQ(h.Count(), 500);
+  EXPECT_NEAR(h.Quantile(0.5), 30.0, 10.0);
+}
+
+// --- JSON helpers ------------------------------------------------------------
+
+TEST(Json, EscapeControlAndQuote) {
+  EXPECT_EQ(util::JsonEscape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+  EXPECT_EQ(util::JsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, NumFiniteAndNonFinite) {
+  EXPECT_EQ(util::JsonNum(2.5), "2.5");
+  EXPECT_EQ(util::JsonNum(std::nan("")), "0");
+  EXPECT_EQ(util::JsonNum(1.0 / 0.0), "0");
+}
+
+TEST(Json, ParseRoundTrip) {
+  util::JsonValue v;
+  std::string err;
+  ASSERT_TRUE(util::JsonParse(
+      R"({"a": 1.5, "s": "x\ny", "arr": [1, true, null], "o": {"k": -2e3}})", &v,
+      &err))
+      << err;
+  ASSERT_TRUE(v.IsObject());
+  EXPECT_DOUBLE_EQ(v.NumberOr("a", 0.0), 1.5);
+  EXPECT_EQ(v.StringOr("s", ""), "x\ny");
+  const util::JsonValue* arr = v.Find("arr");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_TRUE(arr->IsArray());
+  ASSERT_EQ(arr->arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr->arr[0].number, 1.0);
+  EXPECT_TRUE(arr->arr[1].boolean);
+  EXPECT_EQ(arr->arr[2].type, util::JsonValue::Type::kNull);
+  EXPECT_DOUBLE_EQ(v.Find("o")->NumberOr("k", 0.0), -2000.0);
+}
+
+TEST(Json, ParseRejectsMalformed) {
+  util::JsonValue v;
+  std::string err;
+  EXPECT_FALSE(util::JsonParse("{\"a\": }", &v, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(util::JsonParse("[1, 2] trailing", &v, &err));
+  EXPECT_FALSE(util::JsonParse("", &v, &err));
+}
+
+// --- Exporters ---------------------------------------------------------------
+
+std::vector<TraceTrack> SampleTracks() {
+  TraceTrack t;
+  t.name = "replica 0";
+  TraceEvent step = Ev(TraceName::kStep, 0.0, 100.0);
+  step.a = 32;
+  step.b = 2;
+  t.events.push_back(step);
+  t.events.push_back(Ev(TraceName::kPhaseGemm, 0.0, 100.0));
+  TraceEvent q = Ev(TraceName::kReqQueued, 0.0, 50.0, /*req=*/7);
+  t.events.push_back(q);
+  t.events.push_back(Ev(TraceName::kReqFinish, 100.0, 0.0, /*req=*/7));
+  TraceEvent ctr = Ev(TraceName::kCtrKvDevice, 100.0);
+  ctr.v = 4096.0;
+  t.events.push_back(ctr);
+  return {t};
+}
+
+TEST(Export, PerfettoJsonParsesAndHasSchema) {
+  std::ostringstream os;
+  obs::WritePerfettoJson(os, SampleTracks());
+  util::JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(util::JsonParse(os.str(), &doc, &err)) << err;
+  const util::JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->IsArray());
+  int spans = 0, asyncs = 0, counters = 0, meta = 0;
+  for (const auto& e : events->arr) {
+    const std::string ph = e.StringOr("ph", "");
+    ASSERT_FALSE(ph.empty());
+    if (ph == "X") {
+      ++spans;
+      EXPECT_GE(e.NumberOr("dur", -1.0), 0.0);
+    } else if (ph == "b" || ph == "e" || ph == "n") {
+      ++asyncs;
+      EXPECT_EQ(e.StringOr("cat", ""), "request");
+    } else if (ph == "C") {
+      ++counters;
+      ASSERT_NE(e.Find("args"), nullptr);
+      EXPECT_DOUBLE_EQ(e.Find("args")->NumberOr("value", -1.0), 4096.0);
+    } else if (ph == "M") {
+      ++meta;
+    }
+  }
+  EXPECT_EQ(spans, 2);     // step + gemm phase.
+  EXPECT_EQ(asyncs, 3);    // queued b/e + finish n.
+  EXPECT_EQ(counters, 1);
+  EXPECT_GE(meta, 3);      // process_name + 2 thread_names.
+}
+
+TEST(Export, JsonlOneValidObjectPerEvent) {
+  std::ostringstream os;
+  obs::WriteJsonl(os, SampleTracks());
+  std::istringstream is(os.str());
+  std::string line;
+  int lines = 0;
+  while (std::getline(is, line)) {
+    util::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(util::JsonParse(line, &v, &err)) << err << ": " << line;
+    EXPECT_EQ(v.StringOr("track", ""), "replica 0");
+    EXPECT_FALSE(v.StringOr("name", "").empty());
+    ++lines;
+  }
+  EXPECT_EQ(lines, 5);
+}
+
+// --- TraceQuery --------------------------------------------------------------
+
+TEST(TraceQuery, PerRequestAccumulatesPhases) {
+  std::vector<TraceEvent> events;
+  events.push_back(Ev(TraceName::kReqQueued, 0.0, 10.0, 1));
+  events.push_back(Ev(TraceName::kReqPrefill, 10.0, 20.0, 1));
+  events.push_back(Ev(TraceName::kReqDecode, 30.0, 40.0, 1));
+  events.push_back(Ev(TraceName::kReqPreempted, 70.0, 5.0, 1));
+  events.push_back(Ev(TraceName::kReqSwapIn, 75.0, 5.0, 1));
+  events.push_back(Ev(TraceName::kReqDecode, 80.0, 20.0, 1));
+  events.push_back(Ev(TraceName::kReqFinish, 100.0, 0.0, 1));
+  events.push_back(Ev(TraceName::kReqReject, 3.0, 0.0, 2));
+  const obs::TraceQuery query(events);
+  const auto rows = query.PerRequest();
+  ASSERT_EQ(rows.size(), 2u);
+  const auto& r = rows[0];
+  EXPECT_EQ(r.req, 1);
+  EXPECT_DOUBLE_EQ(r.queued_ms, 10e-3);
+  EXPECT_DOUBLE_EQ(r.prefill_ms, 20e-3);
+  EXPECT_DOUBLE_EQ(r.decode_ms, 60e-3);
+  EXPECT_DOUBLE_EQ(r.preempted_ms, 5e-3);
+  EXPECT_DOUBLE_EQ(r.swap_ms, 5e-3);
+  // Phases tile arrival -> finish.
+  EXPECT_NEAR(r.TotalMs(), r.finish_ms - r.arrival_ms, 1e-9);
+  EXPECT_TRUE(rows[1].rejected);
+}
+
+TEST(TraceQuery, StallAttribution) {
+  std::vector<TraceEvent> events;
+  // Step with stalls explained by prefill-alone (a > 0, b == 0).
+  TraceEvent s1 = Ev(TraceName::kStep, 0.0, 10.0);
+  s1.a = 64;
+  s1.c = 2;
+  events.push_back(s1);
+  // Step with stalls explained by a swap transfer.
+  TraceEvent s2 = Ev(TraceName::kStep, 10.0, 10.0);
+  s2.flags = obs::kStepFlagSwap;
+  s2.c = 1;
+  events.push_back(s2);
+  obs::TraceQuery ok(events);
+  EXPECT_TRUE(ok.UnexplainedItlStalls().empty());
+  EXPECT_EQ(ok.TotalItlStallSteps(), 3);
+
+  // A stalled step with decode tokens and no swap is unexplained.
+  TraceEvent bad = Ev(TraceName::kStep, 20.0, 10.0);
+  bad.a = 64;
+  bad.b = 2;
+  bad.c = 2;
+  events.push_back(bad);
+  obs::TraceQuery broken(events);
+  ASSERT_EQ(broken.UnexplainedItlStalls().size(), 1u);
+  EXPECT_DOUBLE_EQ(broken.UnexplainedItlStalls()[0].ts_us, 20.0);
+}
+
+TEST(TraceQuery, PreemptStallCoverage) {
+  std::vector<TraceEvent> events;
+  TraceEvent s = Ev(TraceName::kStep, 10.0, 10.0);
+  s.d = 1;
+  events.push_back(s);
+  // Not yet covered by any preempted span -> unexplained.
+  EXPECT_EQ(obs::TraceQuery(events).UnexplainedPreemptStalls().size(), 1u);
+  // A preempted span enclosing the step explains it.
+  events.push_back(Ev(TraceName::kReqPreempted, 5.0, 30.0, 3));
+  EXPECT_TRUE(obs::TraceQuery(events).UnexplainedPreemptStalls().empty());
+  EXPECT_EQ(obs::TraceQuery(events).TotalPreemptStallSteps(), 1);
+}
+
+}  // namespace
+}  // namespace flashinfer

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "obs/export.h"
 #include "serving/engine.h"
 
 namespace flashinfer {
@@ -35,15 +36,38 @@ namespace {
 // FI_CHECK failures abort the process before gtest can print SCOPED_TRACE,
 // so the reproducing seed is echoed from a SIGABRT handler too.
 volatile uint64_t g_current_seed = 0;
+// Engine of the trial in flight, for the abort-path trace dump.
+const serving::ServingEngine* g_current_engine = nullptr;
+
+/// Writes the trial's trailing trace window (Perfetto + JSONL) next to the
+/// reproducing seed, into $FI_SOAK_DUMP_DIR (default: cwd). Every trial runs
+/// with tracing on, so a failure ships the event history that led up to it.
+void DumpTrialTrace(const std::vector<obs::TraceTrack>& tracks, uint64_t seed) {
+  const char* dir = std::getenv("FI_SOAK_DUMP_DIR");
+  const std::string base = std::string(dir != nullptr ? dir : ".") +
+                           "/soak_seed_" + std::to_string(seed);
+  obs::WritePerfettoFile(base + ".trace.json", tracks);
+  obs::WriteJsonlFile(base + ".trace.jsonl", tracks);
+  std::fprintf(stderr, "[soak] trailing trace dumped to %s.trace.json\n",
+               base.c_str());
+}
 
 void AbortSeedReporter(int) {
+  std::signal(SIGABRT, SIG_DFL);  // A nested failure falls through to core.
   char buf[64];
   const int n = std::snprintf(buf, sizeof(buf), "\n[soak] seed=%llu\n",
                               static_cast<unsigned long long>(g_current_seed));
   if (n > 0) {
     [[maybe_unused]] auto r = write(2, buf, static_cast<size_t>(n));
   }
-  std::signal(SIGABRT, SIG_DFL);
+  // Best-effort trace dump. Not async-signal-safe in general, but the abort
+  // comes from a logic FI_CHECK (heap intact), the process is dying anyway,
+  // and the handler has already been reset so a nested crash still aborts.
+  if (g_current_engine != nullptr) {
+    const serving::ServingEngine* engine = g_current_engine;
+    g_current_engine = nullptr;
+    DumpTrialTrace({{"engine", engine->TraceEvents()}}, g_current_seed);
+  }
   std::abort();
 }
 
@@ -69,6 +93,11 @@ EngineConfig RandomConfig(Rng& rng) {
   cfg.model = serving::Llama31_8B();
   cfg.device = gpusim::H100Sxm80GB();
   cfg.backend = serving::FlashInferBackend();
+  // Every trial records a trailing trace window: failures dump it, and the
+  // emission paths themselves soak across the whole random config space.
+  // A small ring keeps the per-trial cost flat and exercises wraparound.
+  cfg.trace.enabled = true;
+  cfg.trace.capacity = 4096;
   // Chunking on/off; when on, vary the chunk size.
   cfg.prefill_chunk_tokens =
       rng.NextDouble() < 0.25 ? 0 : rng.UniformInt(256, 2048);
@@ -141,9 +170,22 @@ void BoundedDrain(ServingEngine& engine) {
   ASSERT_TRUE(engine.Finished()) << "drain did not terminate";
 }
 
+/// Failed gtest assertion parts recorded so far in the current test (used to
+/// detect whether THIS trial failed, across the many trials one TEST runs).
+int FailedPartCount() {
+  const auto* result =
+      ::testing::UnitTest::GetInstance()->current_test_info()->result();
+  int failed = 0;
+  for (int i = 0; i < result->total_part_count(); ++i) {
+    if (result->GetTestPartResult(i).failed()) ++failed;
+  }
+  return failed;
+}
+
 void RunEngineTrial(uint64_t seed, bool check_step_equiv) {
   SCOPED_TRACE("seed=" + std::to_string(seed));
   g_current_seed = seed;
+  const int failed_before = FailedPartCount();
   Rng rng(seed);
   const EngineConfig cfg = RandomConfig(rng);
   std::vector<Request> reqs = RandomWorkload(rng);
@@ -157,10 +199,15 @@ void RunEngineTrial(uint64_t seed, bool check_step_equiv) {
   }
 
   ServingEngine engine(cfg);
+  g_current_engine = &engine;
   engine.Reset();
   for (const auto& r : shuffled) engine.Admit(r);
   BoundedDrain(engine);
-  if (::testing::Test::HasFatalFailure()) return;
+  if (::testing::Test::HasFatalFailure()) {
+    DumpTrialTrace({{"engine", engine.TraceEvents()}}, seed);
+    g_current_engine = nullptr;
+    return;
+  }
 
   const ServingMetrics& m = engine.Metrics();
   // Exact KV accounting on both tiers, and a clean structural page pool.
@@ -186,7 +233,13 @@ void RunEngineTrial(uint64_t seed, bool check_step_equiv) {
   EXPECT_EQ(m.num_swap_restores + m.num_recompute_restores, m.num_preemptions);
   EXPECT_EQ(m.restored_pages == 0, m.num_swap_restores == 0);
 
-  if (!check_step_equiv) return;
+  g_current_engine = nullptr;
+  if (!check_step_equiv) {
+    if (FailedPartCount() > failed_before) {
+      DumpTrialTrace({{"engine", engine.TraceEvents()}}, seed);
+    }
+    return;
+  }
   // Run() ≡ external Admit/StepTo loop with rng-jittered deadlines.
   ServingEngine reference(cfg);
   const auto run = reference.Run(reqs);
@@ -211,11 +264,16 @@ void RunEngineTrial(uint64_t seed, bool check_step_equiv) {
   for (size_t i = 0; i < st.itl_ms.size(); ++i) {
     EXPECT_DOUBLE_EQ(st.itl_ms[i], run.itl_ms[i]) << "itl " << i;
   }
+  if (FailedPartCount() > failed_before) {
+    DumpTrialTrace({{"engine", engine.TraceEvents()}}, seed);
+  }
 }
 
 void RunClusterTrial(uint64_t seed) {
   SCOPED_TRACE("seed=" + std::to_string(seed));
   g_current_seed = seed;
+  g_current_engine = nullptr;  // Abort-path dump only covers engine trials.
+  const int failed_before = FailedPartCount();
   Rng rng(seed);
   cluster::ClusterConfig cfg;
   cfg.engine = RandomConfig(rng);
@@ -246,6 +304,9 @@ void RunClusterTrial(uint64_t seed) {
   int64_t per_replica_requests = 0;
   for (int64_t n : m.replica_requests) per_replica_requests += n;
   EXPECT_EQ(per_replica_requests, static_cast<int64_t>(reqs.size()));
+  if (FailedPartCount() > failed_before) {
+    DumpTrialTrace(cluster.LastTrace(), seed);
+  }
 }
 
 int TrialCount() {
