@@ -242,5 +242,8 @@ int main(int argc, char** argv) {
     std::printf("ACCEPTANCE FAILED\n");
     return 1;
   }
+  if (const char* baseline = bench::ArgValue(argc, argv, "--check")) {
+    if (!bench::CheckBaseline(baseline, json)) return 1;
+  }
   return 0;
 }

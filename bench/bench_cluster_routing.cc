@@ -151,5 +151,8 @@ int main(int argc, char** argv) {
     bench::Note("bounds (see src/cluster/router.h).");
   }
   if (!json.WriteTo(json_path)) return 1;
+  if (const char* baseline = bench::ArgValue(argc, argv, "--check")) {
+    if (!bench::CheckBaseline(baseline, json)) return 1;
+  }
   return 0;
 }

@@ -8,6 +8,7 @@
 // vs. the authors' testbed); orderings, ratios, and crossovers are.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -44,9 +45,22 @@ class JsonResult {
  public:
   void Add(const std::string& key, double value) {
     fields_.emplace_back(key, util::JsonNum(value));
+    numbers_.emplace_back(key, value);
   }
   void Add(const std::string& key, const std::string& value) {
     fields_.emplace_back(key, "\"" + util::JsonEscape(value) + "\"");
+  }
+
+  /// Numeric lookup for the baseline checker. Returns false when `key` was
+  /// never Add()ed as a number.
+  bool Lookup(const std::string& key, double* out) const {
+    for (const auto& [k, v] : numbers_) {
+      if (k == key) {
+        *out = v;
+        return true;
+      }
+    }
+    return false;
   }
 
   /// Writes `{ "k": v, ... }`; returns false (with a message) on I/O error.
@@ -71,7 +85,76 @@ class JsonResult {
 
  private:
   std::vector<std::pair<std::string, std::string>> fields_;
+  std::vector<std::pair<std::string, double>> numbers_;
 };
+
+/// Compares a bench's measured JsonResult against a committed baseline file —
+/// the CI perf-regression gate. The baseline is a JSON object mapping metric
+/// keys to `{"value": v, "rel_tol": r, "dir": "higher"|"lower"|"both"}`:
+///
+///   * dir "higher": the metric is good-when-high (throughput, speedup) —
+///     FAIL when measured < value * (1 - rel_tol).
+///   * dir "lower": good-when-low (latency, wedges) — FAIL when
+///     measured > value * (1 + rel_tol).
+///   * dir "both" (default): FAIL when |measured - value| > rel_tol * max(
+///     |value|, 1e-12) — for determinism pins like gate booleans.
+///
+/// A baseline key missing from the measured result FAILS (a renamed or
+/// dropped gate metric must be a conscious baseline update). Prints one
+/// PASS/FAIL row per key and returns overall pass. Deterministic seeded
+/// benches on a simulated device make tight tolerances safe: there is no
+/// machine noise to absorb, only real behavior changes.
+inline bool CheckBaseline(const char* baseline_path, const JsonResult& result) {
+  std::FILE* f = std::fopen(baseline_path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "baseline check: cannot open %s\n", baseline_path);
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  util::JsonValue doc;
+  std::string err;
+  if (!util::JsonParse(text, &doc, &err) || !doc.IsObject()) {
+    std::fprintf(stderr, "baseline check: %s: %s\n", baseline_path, err.c_str());
+    return false;
+  }
+
+  std::printf("\nbaseline check vs %s:\n", baseline_path);
+  bool ok = true;
+  for (const auto& [key, spec] : doc.obj) {
+    if (!spec.IsObject()) continue;  // Allow top-level comment strings.
+    const double value = spec.NumberOr("value", 0.0);
+    const double tol = spec.NumberOr("rel_tol", 0.05);
+    const std::string dir = spec.StringOr("dir", "both");
+    double measured = 0.0;
+    bool pass;
+    std::string detail;
+    if (!result.Lookup(key, &measured)) {
+      pass = false;
+      detail = "metric missing from results";
+    } else if (dir == "higher") {
+      pass = measured >= value * (1.0 - tol);
+      detail = "must be >= " + util::JsonNum(value * (1.0 - tol));
+    } else if (dir == "lower") {
+      pass = measured <= value * (1.0 + tol);
+      detail = "must be <= " + util::JsonNum(value * (1.0 + tol));
+    } else {
+      const double scale = std::abs(value) > 1e-12 ? std::abs(value) : 1e-12;
+      pass = std::abs(measured - value) <= tol * scale;
+      detail = "must be within " + util::JsonNum(100.0 * tol) + "% of " +
+               util::JsonNum(value);
+    }
+    std::printf("  %-34s %-4s measured=%-12.6g baseline=%-12.6g (%s)\n", key.c_str(),
+                pass ? "ok" : "FAIL", measured, value, detail.c_str());
+    ok = ok && pass;
+  }
+  std::printf("baseline check: %s\n", ok ? "PASS" : "FAIL");
+  return ok;
+}
 
 inline void Banner(const char* id, const char* title) {
   std::printf("\n=============================================================\n");

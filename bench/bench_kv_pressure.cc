@@ -145,13 +145,17 @@ const char* RestoreName(RestorePolicy p) {
 /// Traced 2-replica cluster over the feasible pressure workload; the exported
 /// Perfetto JSON is the CI trace artifact (replica step/phase/KV tracks plus
 /// the router-decision track).
-bool WriteTraceArtifact(const char* path, const std::vector<Request>& reqs,
-                        int64_t budget) {
+bool WriteTraceArtifact(const char* path, const char* metrics_path,
+                        const std::vector<Request>& reqs, int64_t budget) {
   cluster::ClusterConfig ccfg;
   ccfg.engine = BaseConfig();
   ccfg.engine.preemption.enabled = true;
   ccfg.engine.hbm_capacity_gb = HbmForBudget(ccfg.engine, budget);
   ccfg.engine.trace.enabled = true;
+  // Telemetry rides along: the same run also produces the merged-registry
+  // snapshot artifact (per-replica windowed counters/sketches under
+  // replica="i" labels) when --metrics is given.
+  ccfg.engine.telemetry.enabled = true;
   ccfg.num_replicas = 2;
   cluster::ClusterEngine engine(ccfg);
   const auto m = engine.Run(FeasibleSubset(reqs, budget));
@@ -162,6 +166,17 @@ bool WriteTraceArtifact(const char* path, const std::vector<Request>& reqs,
   std::printf("\ntrace artifact: %s (%zu tracks, %lld preemptions traced)\n",
               path, engine.LastTrace().size(),
               static_cast<long long>(m.aggregate.num_preemptions));
+  if (metrics_path != nullptr) {
+    std::FILE* f = std::fopen(metrics_path, "w");
+    if (f == nullptr) {
+      std::printf("FAILED to write metrics snapshot to %s\n", metrics_path);
+      return false;
+    }
+    const std::string snap = engine.Telemetry()->JsonSnapshot(m.makespan_s);
+    std::fwrite(snap.data(), 1, snap.size(), f);
+    std::fclose(f);
+    std::printf("metrics snapshot: %s\n", metrics_path);
+  }
   return true;
 }
 
@@ -353,13 +368,17 @@ int main(int argc, char** argv) {
   // preemption/KV machinery in action (the 14k gate budget rarely preempts
   // once the load is split across two replicas).
   if (trace_path != nullptr &&
-      !WriteTraceArtifact(trace_path, workload, budgets.front())) {
+      !WriteTraceArtifact(trace_path, bench::ArgValue(argc, argv, "--metrics"),
+                          workload, budgets.front())) {
     return 1;
   }
   if (!json.WriteTo(json_path)) return 1;
   if (!ok) {
     std::printf("ACCEPTANCE FAILED\n");
     return 1;
+  }
+  if (const char* baseline = bench::ArgValue(argc, argv, "--check")) {
+    if (!bench::CheckBaseline(baseline, json)) return 1;
   }
   return 0;
 }

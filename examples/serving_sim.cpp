@@ -4,15 +4,19 @@
 // prefill / mixed-batching knob: prefill_chunk_tokens = 0 restores the
 // legacy prefill-alone loop, whose decode stalls show up in the ITL tail
 // and the stall counters.
-// The final section turns on engine tracing, re-runs the workload under KV
-// pressure, prints the per-request wall-clock decomposition recovered from
-// the trace (queue wait / prefill / decode / preempted / restore), proves
-// every stall counter increment is attributable to a trace event, and writes
-// a Chrome/Perfetto trace file (open in ui.perfetto.dev).
+// The final section turns on engine tracing AND the live telemetry plane,
+// re-runs the workload under KV pressure with three tenants and per-class
+// SLOs, prints the per-request wall-clock decomposition recovered from the
+// trace (queue wait / prefill / decode / preempted / restore), proves every
+// stall counter increment is attributable to a trace event, prints the
+// per-tenant SLO attainment / burn-rate table, and writes a Chrome/Perfetto
+// trace file (open in ui.perfetto.dev — burn alerts land as instants on the
+// same timeline) plus a telemetry registry JSON snapshot.
 #include <cstdio>
 
 #include "obs/export.h"
 #include "obs/query.h"
+#include "obs/slo.h"
 #include "serving/engine.h"
 #include "util/table.h"
 
@@ -67,10 +71,41 @@ int main() {
   auto pressured = workload;
   for (size_t i = 0; i < pressured.size(); ++i) {
     pressured[i].priority = i % 5 == 0 ? 1 : 0;
+    pressured[i].tenant = static_cast<int>(i % 3);  // Three tenant classes.
   }
   cfg.prefill_chunk_tokens = 2048;
   cfg.preemption.enabled = true;
   cfg.trace.enabled = true;
+  // Live telemetry plane: windowed per-(tenant, priority) series plus
+  // declarative SLOs — one TTFT objective per tenant and a global ITL
+  // objective. Under this budget the preemption churn burns the TTFT error
+  // budgets fast enough to fire multi-window burn alerts into the trace.
+  cfg.telemetry.enabled = true;
+  for (int tenant = 0; tenant < 3; ++tenant) {
+    obs::SloSpec slo;
+    slo.name = "tenant" + std::to_string(tenant) + "_ttft";
+    slo.signal = obs::SloSignal::kTtft;
+    slo.threshold_ms = 250.0;
+    slo.objective = 0.99;
+    slo.tenant = tenant;
+    slo.fast_window_s = 2.0;
+    slo.slow_window_s = 10.0;
+    slo.fast_burn = 5.0;
+    slo.slow_burn = 2.0;
+    cfg.telemetry.slos.push_back(slo);
+  }
+  {
+    obs::SloSpec slo;
+    slo.name = "fleet_itl";
+    slo.signal = obs::SloSignal::kItl;
+    slo.threshold_ms = 50.0;
+    slo.objective = 0.95;
+    slo.fast_window_s = 2.0;
+    slo.slow_window_s = 10.0;
+    slo.fast_burn = 5.0;
+    slo.slow_burn = 2.0;
+    cfg.telemetry.slos.push_back(slo);
+  }
   const double kv_bytes =
       4000.0 * cfg.model.KvBytesPerToken(cfg.backend.kv_dtype) / 0.9;
   cfg.hbm_capacity_gb = (cfg.model.WeightBytesPerGpu() + kv_bytes) / 1e9;
@@ -88,10 +123,39 @@ int main() {
   std::printf("(metrics agree: itl_stall_steps=%lld preempt_stall_steps=%lld)\n",
               static_cast<long long>(m.itl_stall_steps),
               static_cast<long long>(m.preempt_stall_steps));
+  // Per-tenant SLO attainment and burn rates over the whole run; alerts are
+  // the edge-triggered instants also visible on the Perfetto timeline.
+  std::printf("\nSLO attainment (objective: TTFT<=250ms @99%% per tenant, "
+              "ITL<=50ms @95%% fleet-wide):\n");
+  AsciiTable slo_table({"slo", "signal", "good", "bad", "attainment %",
+                        "fast burn", "slow burn", "alerts"});
+  for (const auto& s : traced.Slo()->Status(m.makespan_s)) {
+    slo_table.AddRow({s.spec->name, obs::SloSignalStr(s.spec->signal),
+                      AsciiTable::Num(static_cast<double>(s.good), 0),
+                      AsciiTable::Num(static_cast<double>(s.bad), 0),
+                      AsciiTable::Num(100.0 * s.attainment, 1),
+                      AsciiTable::Num(s.fast_burn, 2), AsciiTable::Num(s.slow_burn, 2),
+                      AsciiTable::Num(static_cast<double>(s.alerts), 0)});
+  }
+  slo_table.Print();
+  int64_t alert_instants = 0;
+  for (const auto& e : traced.TraceEvents()) {
+    if (e.name == obs::TraceName::kSloAlert) ++alert_instants;
+  }
+  std::printf("burn-rate alerts on the trace timeline: %lld\n",
+              static_cast<long long>(alert_instants));
+
   const char* trace_path = "serving_sim.trace.json";
   if (obs::WritePerfettoFile(trace_path,
                              {{"engine", traced.TraceEvents()}})) {
     std::printf("wrote %s — open in ui.perfetto.dev\n", trace_path);
+  }
+  const char* metrics_path = "serving_sim.metrics.json";
+  if (std::FILE* f = std::fopen(metrics_path, "w")) {
+    const std::string snap = traced.Telemetry()->JsonSnapshot(m.makespan_s);
+    std::fwrite(snap.data(), 1, snap.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s — windowed per-tenant registry snapshot\n", metrics_path);
   }
   return 0;
 }

@@ -107,6 +107,16 @@ ClusterMetrics ClusterEngine::Run(const std::vector<Request>& workload) {
 
   for (auto& rep : replicas_) rep->engine.Drain();
 
+  // --- Merged telemetry: every replica's registry under replica="i". -------
+  telemetry_.reset();
+  if (cfg_.engine.telemetry.enabled) {
+    telemetry_ = std::make_unique<obs::MetricsRegistry>(cfg_.engine.telemetry.window);
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      telemetry_->MergeFrom(*replicas_[i]->engine.Telemetry(), "replica",
+                            std::to_string(i));
+    }
+  }
+
   // --- Merged trace: one track per replica plus the router's decisions. ----
   last_trace_.clear();
   if (tracing) {
@@ -134,6 +144,11 @@ ClusterMetrics ClusterEngine::Run(const std::vector<Request>& workload) {
     agg.ttft_priority.insert(agg.ttft_priority.end(), m.ttft_priority.begin(),
                              m.ttft_priority.end());
     agg.itl_ms.insert(agg.itl_ms.end(), m.itl_ms.begin(), m.itl_ms.end());
+    // Bounded-ITL replicas carry their distribution in the sketch; merging
+    // it (and propagating the flag) keeps aggregate percentile queries
+    // working when the per-token vectors are empty.
+    agg.itl_sketch.MergeFrom(m.itl_sketch);
+    agg.bounded_itl = agg.bounded_itl || m.bounded_itl;
     agg.total_output_tokens += m.total_output_tokens;
     agg.total_attention_ms += m.total_attention_ms;
     agg.total_gemm_ms += m.total_gemm_ms;

@@ -22,6 +22,7 @@
 
 #include "cluster/router.h"
 #include "obs/export.h"
+#include "obs/metrics.h"
 #include "serving/engine.h"
 
 namespace flashinfer::cluster {
@@ -82,6 +83,12 @@ class ClusterEngine {
     return last_trace_;
   }
 
+  /// Cluster-wide metrics registry of the last Run(): every replica's
+  /// registry merged under a `replica="i"` label (per-replica instances stay
+  /// distinct in the merged exposition). Nullptr when
+  /// `cfg.engine.telemetry` is disabled.
+  const obs::MetricsRegistry* Telemetry() const noexcept { return telemetry_.get(); }
+
  private:
   struct Replica;
 
@@ -89,6 +96,7 @@ class ClusterEngine {
   std::unique_ptr<Router> router_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<obs::TraceTrack> last_trace_;
+  std::unique_ptr<obs::MetricsRegistry> telemetry_;
 };
 
 }  // namespace flashinfer::cluster

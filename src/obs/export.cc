@@ -69,6 +69,11 @@ std::string ArgsFor(const TraceEvent& e) {
       add("replica", static_cast<double>(e.a));
       add("matched_prefix_tokens", static_cast<double>(e.b));
       break;
+    case TraceName::kSloAlert:
+    case TraceName::kSloRecover:
+      add("spec", static_cast<double>(e.a));
+      add("fast_burn", e.v);
+      break;
     default: break;
   }
   if (e.req >= 0) add("req", static_cast<double>(e.req));

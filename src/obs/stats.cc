@@ -71,6 +71,17 @@ void Histogram::Add(double v) {
   ++count_;
 }
 
+void Histogram::MergeFrom(const Histogram& other) {
+  FI_CHECK_EQ(NumBuckets(), other.NumBuckets());
+  FI_CHECK(lo_ == other.lo_ && growth_ == other.growth_);
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
 double Histogram::BucketLowerEdge(int64_t i) const {
   if (i <= 0) return 0.0;
   return lo_ * std::exp(static_cast<double>(i - 1) * log_growth_);

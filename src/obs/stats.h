@@ -53,13 +53,22 @@ class TimeSeries {
 class Histogram {
  public:
   /// `lo` > 0 is the lower edge of the first regular bucket, `hi` the upper
-  /// edge of the last, `growth` > 1 the bucket ratio. Defaults resolve
-  /// latencies from 10 us to ~100 s at ~19% relative resolution.
-  explicit Histogram(double lo = 1e-2, double hi = 1e5, double growth = 1.1892071150027210667);
+  /// edge of the last, `growth` > 1 the bucket ratio. The default geometry
+  /// resolves latencies from 10 us to ~100 s at ~19% relative resolution.
+  /// (Non-explicit default ctor so structs can hold a Histogram member and
+  /// still aggregate-initialize with {}.)
+  Histogram() : Histogram(1e-2, 1e5, 1.1892071150027210667) {}
+  explicit Histogram(double lo, double hi, double growth = 1.1892071150027210667);
 
   static Histogram FromSamples(const std::vector<double>& samples);
 
   void Add(double v);
+
+  /// Folds `other` into this histogram. Both must share the same bucket
+  /// geometry (lo/growth/bucket count) — checked. Exact min/max/sum/count
+  /// merge exactly, so the merged sketch answers quantiles as if every
+  /// sample had been Add()ed here directly.
+  void MergeFrom(const Histogram& other);
 
   int64_t Count() const noexcept { return count_; }
   double MinValue() const noexcept { return count_ > 0 ? min_ : 0.0; }

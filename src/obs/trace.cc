@@ -29,6 +29,8 @@ const char* TraceNameStr(TraceName n) {
     case TraceName::kKvRestoreSwap: return "kv_restore_swap";
     case TraceName::kKvRestoreRecompute: return "kv_restore_recompute";
     case TraceName::kRouteDecision: return "route";
+    case TraceName::kSloAlert: return "slo_alert";
+    case TraceName::kSloRecover: return "slo_recover";
     case TraceName::kCtrKvDevice: return "kv_device_tokens";
     case TraceName::kCtrKvHost: return "kv_host_tokens";
     case TraceName::kCtrQueueDepth: return "queue_depth";
@@ -41,7 +43,7 @@ const char* TraceNameStr(TraceName n) {
 
 TraceKind KindOf(TraceName n) noexcept {
   if (n <= TraceName::kReqRecompute) return TraceKind::kSpan;
-  if (n <= TraceName::kRouteDecision) return TraceKind::kInstant;
+  if (n <= TraceName::kSloRecover) return TraceKind::kInstant;
   return TraceKind::kCounter;
 }
 

@@ -44,6 +44,9 @@
 //   Router (cluster track):
 //     kRouteDecision inst  req a=replica b=matched_prefix_tokens
 //
+//   SLO burn-rate monitor (obs/slo.h; edge-triggered per spec):
+//     kSloAlert / kSloRecover inst  a=spec_index v=fast-window burn rate
+//
 //   Counters (sampled after every executed step):
 //     kCtrKvDevice kCtrKvHost kCtrQueueDepth kCtrRunning kCtrPreempted
 //     kCtrTokPerS   v=value
@@ -84,6 +87,8 @@ enum class TraceName : uint8_t {
   kKvRestoreSwap,
   kKvRestoreRecompute,
   kRouteDecision,
+  kSloAlert,
+  kSloRecover,
   // Counters.
   kCtrKvDevice,
   kCtrKvHost,

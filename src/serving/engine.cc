@@ -154,6 +154,62 @@ void ServingEngine::TraceCounter(obs::TraceName n, double v) noexcept {
   trace_->Record(e);
 }
 
+ServingEngine::ClassSeries& ServingEngine::SeriesFor(int tenant, int priority) {
+  const int64_t key = (static_cast<int64_t>(tenant) << 32) ^
+                      (static_cast<int64_t>(priority) & 0xffffffff);
+  auto [it, inserted] = class_series_.try_emplace(key);
+  if (inserted) {
+    const obs::LabelSet labels = obs::ClassLabels(tenant, priority);
+    it->second.tokens = telemetry_->GetCounter("fi_tokens_total", labels);
+    it->second.ttft = telemetry_->GetSketch("fi_ttft_ms", labels);
+    it->second.itl = telemetry_->GetSketch("fi_itl_ms", labels);
+  }
+  return it->second;
+}
+
+void ServingEngine::ObserveTtft(int tenant, int priority, double ms) {
+  if (!telemetry_) return;
+  ClassSeries& s = SeriesFor(tenant, priority);
+  s.ttft->Observe(now_s_, ms);
+  s.tokens->Inc(now_s_);  // The request's first token.
+  if (slo_) slo_->Observe(obs::SloSignal::kTtft, tenant, priority, ms, now_s_);
+}
+
+void ServingEngine::ObserveTokens(const Branch& b, int64_t tokens, double itl_ms) {
+  if (!telemetry_) return;
+  ClassSeries& s = SeriesFor(b.tenant, b.priority);
+  s.tokens->Inc(now_s_, static_cast<double>(tokens));
+  // One ITL sample per committed token, mirroring ServingMetrics::AddItl:
+  // the first closes the gap since the last emission, the rest (spec-decode
+  // burst delivery) land at zero — so the registry's sample count reconciles
+  // exactly with the run-final metrics.
+  for (int64_t t = 0; t < tokens; ++t) {
+    const double gap = t == 0 ? itl_ms : 0.0;
+    s.itl->Observe(now_s_, gap);
+    if (slo_) slo_->Observe(obs::SloSignal::kItl, b.tenant, b.priority, gap, now_s_);
+  }
+}
+
+void ServingEngine::PublishStepTelemetry(int64_t step_output_tokens,
+                                         int64_t prefill_tokens) {
+  if (!telemetry_) return;
+  telemetry_->GetCounter("fi_steps_total")->Inc(now_s_);
+  telemetry_->GetCounter("fi_output_tokens_total")
+      ->Inc(now_s_, static_cast<double>(step_output_tokens));
+  telemetry_->GetCounter("fi_prefill_tokens_total")
+      ->Inc(now_s_, static_cast<double>(prefill_tokens));
+  telemetry_->GetGauge("fi_kv_device_tokens")
+      ->Set(now_s_, static_cast<double>(kv_tokens_in_use_));
+  telemetry_->GetGauge("fi_kv_host_tokens")
+      ->Set(now_s_, static_cast<double>(host_kv_tokens_in_use_));
+  telemetry_->GetGauge("fi_queue_depth")->Set(now_s_, static_cast<double>(pending_.size()));
+  telemetry_->GetGauge("fi_running_branches")
+      ->Set(now_s_, static_cast<double>(running_.size()));
+  telemetry_->GetGauge("fi_preempted_branches")
+      ->Set(now_s_, static_cast<double>(preempted_.size()));
+  if (slo_) slo_->Evaluate(now_s_);
+}
+
 void ServingEngine::Reset() {
   pending_.clear();
   prefilling_.clear();
@@ -176,6 +232,17 @@ void ServingEngine::Reset() {
     }
   } else {
     trace_.reset();
+  }
+  class_series_.clear();
+  if (cfg_.telemetry.enabled) {
+    telemetry_ = std::make_unique<obs::MetricsRegistry>(cfg_.telemetry.window);
+    slo_ = cfg_.telemetry.slos.empty()
+               ? nullptr
+               : std::make_unique<obs::SloMonitor>(cfg_.telemetry.slos, trace_.get());
+    metrics_.bounded_itl = cfg_.telemetry.bounded_itl;
+  } else {
+    telemetry_.reset();
+    slo_.reset();
   }
   if (cfg_.spec.enabled || cfg_.preemption.enabled) {
     if (cfg_.spec.enabled) {
@@ -350,6 +417,7 @@ void ServingEngine::AdmitArrived() {
       // an FI_CHECK when this state was reached). Refuse it and move on.
       ++metrics_.rejected_requests;
       TraceInstant(obs::TraceName::kReqReject, r.id, need, kv_token_budget_);
+      if (telemetry_) telemetry_->GetCounter("fi_requests_rejected_total")->Inc(now_s_);
       pending_.pop_front();
       continue;
     }
@@ -414,6 +482,10 @@ void ServingEngine::RestorePreempted() {
       pending_swap_us_ += t_us;
       metrics_.total_swap_ms += t_us * 1e-3;
       ++metrics_.num_swap_restores;
+      if (telemetry_) {
+        telemetry_->GetCounter("fi_swap_restores_total")->Inc(now_s_);
+        telemetry_->GetCounter("fi_swap_ms_total")->Inc(now_s_, t_us * 1e-3);
+      }
       pp.swap_restore = true;
       pp.req.input_len = 0;
       pp.to_compute = 0;
@@ -422,6 +494,7 @@ void ServingEngine::RestorePreempted() {
       // the chunked-prefill path as a synthetic request; the branch resumes
       // once the last chunk lands.
       ++metrics_.num_recompute_restores;
+      if (telemetry_) telemetry_->GetCounter("fi_recompute_restores_total")->Inc(now_s_);
       pp.req.input_len = b.kv_len;
       pp.to_compute = b.kv_len;
     }
@@ -474,6 +547,11 @@ void ServingEngine::PreemptBranch(size_t running_idx) {
   ++metrics_.num_preemptions;
   const int64_t evicted_pages = (b.kv_len + cfg_.page_size - 1) / cfg_.page_size;
   metrics_.evicted_pages += evicted_pages;
+  if (telemetry_) {
+    telemetry_->GetCounter("fi_preemptions_total")->Inc(now_s_);
+    telemetry_->GetCounter("fi_evicted_pages_total")
+        ->Inc(now_s_, static_cast<double>(evicted_pages));
+  }
   // The eviction closes the branch's current decode segment.
   TraceSpan(obs::TraceName::kReqDecode, b.seg_start_s, now_s_, b.request_id,
             b.kv_len);
@@ -511,6 +589,7 @@ void ServingEngine::PreemptBranch(size_t running_idx) {
     const double t_us = SwapUs(b.kv_len);
     pending_swap_us_ += t_us;  // Swap-out serializes into the next step.
     metrics_.total_swap_ms += t_us * 1e-3;
+    if (telemetry_) telemetry_->GetCounter("fi_swap_ms_total")->Inc(now_s_, t_us * 1e-3);
     if (spec_kv_ && b.spec_seq >= 0) spec_kv_->EvictSequence(b.spec_seq);
   } else if (spec_kv_ && b.spec_seq >= 0) {
     // Dropped for recompute: the structural pages free immediately; a fresh
@@ -772,14 +851,20 @@ void ServingEngine::ExecuteStepPlan(const StepPlan& plan) {
   }
 
   // --- Prefill progress and completions (FIFO order). ----------------------
+  int64_t step_prefill_tokens = 0;  // Prompt work only (restores excluded).
   for (const auto& c : plan.chunks) {
     auto& p = prefilling_[c.prefill_idx];
     p.computed += c.tokens;
     ++p.chunks_used;
     if (p.restore) {
       metrics_.recompute_tokens += c.tokens;
+      if (telemetry_ && c.tokens > 0) {
+        telemetry_->GetCounter("fi_recompute_tokens_total")
+            ->Inc(now_s_, static_cast<double>(c.tokens));
+      }
     } else {
       metrics_.total_prefill_tokens += c.tokens;
+      step_prefill_tokens += c.tokens;
     }
   }
   std::vector<size_t> done;
@@ -796,7 +881,12 @@ void ServingEngine::ExecuteStepPlan(const StepPlan& plan) {
       Branch b = p.branch;
       if (spec_kv_) {
         if (p.swap_restore && b.spec_seq >= 0) {
-          metrics_.restored_pages += spec_kv_->RestoreSequence(b.spec_seq);
+          const int64_t pages = spec_kv_->RestoreSequence(b.spec_seq);
+          metrics_.restored_pages += pages;
+          if (telemetry_) {
+            telemetry_->GetCounter("fi_restored_pages_total")
+                ->Inc(now_s_, static_cast<double>(pages));
+          }
         } else {
           b.spec_seq = spec_kv_->CreateSequence();
           spec_kv_->ExtendSequence(b.spec_seq, b.kv_len);
@@ -841,11 +931,14 @@ void ServingEngine::ExecuteStepPlan(const StepPlan& plan) {
                                     step_s
                               : 0.0);
   }
+
+  PublishStepTelemetry(metrics_.total_output_tokens - toks_before, step_prefill_tokens);
 }
 
 void ServingEngine::CompletePrefill(const Request& r) {
   // The request's first token is produced by its last chunk.
   metrics_.AddTtft((now_s_ - r.arrival_s) * 1e3, r.priority);
+  ObserveTtft(r.tenant, r.priority, (now_s_ - r.arrival_s) * 1e3);
   ++metrics_.total_output_tokens;
   metrics_.cached_prefix_tokens += CachedTokens(r);
   const int group = r.parallel_n > 1 ? next_group_++ : -1;
@@ -866,6 +959,7 @@ void ServingEngine::CompletePrefill(const Request& r) {
     b.remaining = std::max<int64_t>(r.output_len - 1, 0);
     b.last_emit_s = now_s_;
     b.priority = r.priority;
+    b.tenant = r.tenant;
     b.arrival_s = r.arrival_s;
     b.seg_start_s = now_s_;  // First decode segment opens at the first token.
     if (spec_kv_) {
@@ -898,7 +992,9 @@ void ServingEngine::CommitDecode() {
   std::vector<Branch> still_running;
   still_running.reserve(running_.size());
   for (auto& b : running_) {
-    metrics_.itl_ms.push_back((now_s_ - b.last_emit_s) * 1e3);
+    const double gap_ms = (now_s_ - b.last_emit_s) * 1e3;
+    metrics_.AddItl(gap_ms);
+    ObserveTokens(b, /*tokens=*/1, gap_ms);
     b.last_emit_s = now_s_;
     // Preemption-enabled engines track the decode structurally too, so an
     // eviction swaps exactly the pages this branch's KV occupies.
@@ -930,9 +1026,11 @@ void ServingEngine::CommitSpecDecode() {
     // Tokens of one verify step surface together: the first closes the gap
     // since the last emission, the rest arrive at (simulated) zero ITL —
     // exactly the burst delivery real spec decoding produces.
+    const double gap_ms = (now_s_ - b.last_emit_s) * 1e3;
     for (int64_t t = 0; t < commit; ++t) {
-      metrics_.itl_ms.push_back(t == 0 ? (now_s_ - b.last_emit_s) * 1e3 : 0.0);
+      metrics_.AddItl(t == 0 ? gap_ms : 0.0);
     }
+    ObserveTokens(b, commit, gap_ms);
     b.last_emit_s = now_s_;
     b.kv_len += commit;  // Budget-wise already reserved at admission.
     metrics_.total_output_tokens += commit;

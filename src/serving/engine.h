@@ -62,6 +62,8 @@
 #include <vector>
 
 #include "kvcache/paged.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "serving/backends.h"
 #include "serving/metrics.h"
@@ -153,6 +155,13 @@ struct EngineConfig {
   /// the engine records request/step/KV events into a bounded ring buffer in
   /// simulated time; export via obs::WritePerfettoFile(TraceEvents()).
   obs::TraceConfig trace;
+  /// Live telemetry plane (off by default: no registry, no SLO monitor, zero
+  /// behavior change — pinned by the same bit-identical-metrics test
+  /// pattern). When enabled, the engine publishes windowed counters, gauges,
+  /// and (tenant, priority)-labeled latency sketches into a MetricsRegistry
+  /// every step, and evaluates telemetry.slos as burn-rate monitors whose
+  /// alerts land in the trace (when tracing is also on).
+  obs::TelemetryConfig telemetry;
 };
 
 class ServingEngine {
@@ -257,6 +266,16 @@ class ServingEngine {
     return trace_ ? trace_->Events() : std::vector<obs::TraceEvent>{};
   }
 
+  // --- Telemetry ------------------------------------------------------------
+
+  /// The live metrics registry, or nullptr when EngineConfig::telemetry is
+  /// disabled. Scrape with PrometheusText(Now()) / JsonSnapshot(Now()).
+  const obs::MetricsRegistry* Telemetry() const noexcept { return telemetry_.get(); }
+
+  /// The SLO burn-rate monitor, or nullptr when telemetry is disabled or no
+  /// specs were configured.
+  const obs::SloMonitor* Slo() const noexcept { return slo_.get(); }
+
  private:
   struct Branch {
     int request_id = 0;
@@ -269,6 +288,7 @@ class ServingEngine {
     double accept_prob = 0.0;  // Spec decode: draft acceptance probability.
     int spec_seq = -1;         // Structural KV: sequence id in spec_kv_.
     int priority = 0;          // Preemption: request priority.
+    int tenant = -1;           // Telemetry: owning tenant (-1 = unassigned).
     double arrival_s = 0.0;    // Preemption: victim tie-break (youngest).
     double seg_start_s = 0.0;  // Trace: start of the current decode segment.
   };
@@ -380,6 +400,24 @@ class ServingEngine {
                     int64_t b = 0, int64_t c = 0) noexcept;
   void TraceCounter(obs::TraceName n, double v) noexcept;
 
+  // --- Telemetry publication (no-ops when telemetry is disabled: every site
+  // is gated on the telemetry_ pointer, mirroring the trace_ pattern). ------
+
+  /// Cached per-(tenant, priority) instrument handles — registry lookups
+  /// happen once per class, not once per sample.
+  struct ClassSeries {
+    obs::Counter* tokens = nullptr;  // fi_tokens_total
+    obs::Sketch* ttft = nullptr;     // fi_ttft_ms
+    obs::Sketch* itl = nullptr;      // fi_itl_ms
+  };
+  ClassSeries& SeriesFor(int tenant, int priority);
+  /// Records one TTFT sample: per-class sketch + SLO monitor.
+  void ObserveTtft(int tenant, int priority, double ms);
+  /// Records committed output tokens + the ITL gap sample for one branch.
+  void ObserveTokens(const Branch& b, int64_t tokens, double itl_ms);
+  /// Publishes end-of-step gauges/counters and advances SLO alerting.
+  void PublishStepTelemetry(int64_t step_output_tokens, int64_t prefill_tokens);
+
   /// Assembles the next step's unified batch from prefilling_ and running_.
   StepPlan FormStepPlan() const;
 
@@ -448,6 +486,12 @@ class ServingEngine {
   /// Event recorder; null when EngineConfig::trace is disabled (every
   /// emission site is gated on this pointer).
   std::unique_ptr<obs::TraceRecorder> trace_;
+  /// Live metrics registry + SLO monitor; null when telemetry is disabled
+  /// (every publication site is gated on telemetry_).
+  std::unique_ptr<obs::MetricsRegistry> telemetry_;
+  std::unique_ptr<obs::SloMonitor> slo_;
+  /// (tenant, priority) -> cached instrument handles, keyed by packed id.
+  std::map<int64_t, ClassSeries> class_series_;
 };
 
 }  // namespace flashinfer::serving

@@ -1,0 +1,301 @@
+// Telemetry-plane unit tests: label canonicalization, sliding-window
+// accumulators (epoch ring expiry), registry instance identity, exposition
+// schemas (Prometheus text + JSON snapshot, parsed with the shared JSON
+// machinery), and the cluster registry merge.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "obs/metrics.h"
+#include "serving/engine.h"
+#include "util/json.h"
+
+namespace flashinfer {
+namespace {
+
+using obs::ClassLabels;
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::LabelSet;
+using obs::MetricsRegistry;
+using obs::Sketch;
+using obs::WindowConfig;
+using obs::WindowedSketch;
+using obs::WindowedSum;
+
+// --- LabelSet ----------------------------------------------------------------
+
+TEST(LabelSet, CanonicalKeyIsSorted) {
+  const LabelSet a{{"tenant", "3"}, {"priority", "1"}};
+  const LabelSet b{{"priority", "1"}, {"tenant", "3"}};
+  EXPECT_EQ(a.Key(), "priority=1,tenant=3");
+  EXPECT_EQ(a.Key(), b.Key());
+  EXPECT_EQ(a.Prometheus(), "priority=\"1\",tenant=\"3\"");
+  EXPECT_TRUE(LabelSet{}.empty());
+  EXPECT_EQ(LabelSet{}.Key(), "");
+}
+
+TEST(LabelSet, WithAddsAndReplaces) {
+  const LabelSet base{{"tenant", "3"}};
+  EXPECT_EQ(base.With("replica", "0").Key(), "replica=0,tenant=3");
+  EXPECT_EQ(base.With("tenant", "7").Key(), "tenant=7");
+  EXPECT_EQ(base.Key(), "tenant=3");  // With() copies; base untouched.
+}
+
+TEST(LabelSet, ClassLabelsMapUnassignedTenantToDash) {
+  EXPECT_EQ(ClassLabels(2, 1).Key(), "priority=1,tenant=2");
+  EXPECT_EQ(ClassLabels(-1, 0).Key(), "priority=0,tenant=-");
+}
+
+// --- Sliding windows ---------------------------------------------------------
+
+TEST(WindowedSum, ExpiresSlotsOutsideWindow) {
+  WindowedSum w(/*window_s=*/10.0, /*slots=*/5);  // 2 s per slot.
+  w.Add(1.0, 5.0);
+  w.Add(3.0, 7.0);
+  EXPECT_DOUBLE_EQ(w.Sum(3.0), 12.0);
+  EXPECT_DOUBLE_EQ(w.Max(3.0), 7.0);
+  EXPECT_EQ(w.Count(3.0), 2);
+  EXPECT_DOUBLE_EQ(w.RatePerS(3.0), 1.2);
+  // At t=11 the slot holding t=1 (epoch 0) has left the trailing window; the
+  // slot holding t=3 (epoch 1) is still live.
+  EXPECT_DOUBLE_EQ(w.Sum(11.0), 7.0);
+  // By t=13 everything has expired.
+  EXPECT_DOUBLE_EQ(w.Sum(13.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.Max(13.0), 0.0);
+  EXPECT_EQ(w.Count(13.0), 0);
+}
+
+TEST(WindowedSum, RingReuseResetsStaleSlot) {
+  WindowedSum w(10.0, 5);
+  w.Add(0.5, 100.0);  // Epoch 0.
+  w.Add(20.5, 1.0);   // Epoch 10 — same ring index, must reset the slot.
+  EXPECT_DOUBLE_EQ(w.Sum(20.5), 1.0);
+}
+
+TEST(WindowedSketch, MergedCoversOnlyLiveSlots) {
+  WindowedSketch w(10.0, 5);
+  w.Observe(1.0, 50.0);
+  w.Observe(9.0, 150.0);
+  EXPECT_EQ(w.Merged(9.0).Count(), 2);
+  // t=1's slot expires by t=11; t=9's survives.
+  const Histogram late = w.Merged(11.0);
+  EXPECT_EQ(late.Count(), 1);
+  EXPECT_DOUBLE_EQ(late.MaxValue(), 150.0);
+  EXPECT_EQ(w.Merged(25.0).Count(), 0);
+}
+
+// --- Metric types ------------------------------------------------------------
+
+TEST(Metrics, CounterTotalsAndWindowRate) {
+  Counter c(WindowConfig{10.0, 5});
+  c.Inc(0.5, 10.0);
+  c.Inc(1.5);  // Default increment 1.
+  EXPECT_DOUBLE_EQ(c.total(), 11.0);
+  EXPECT_DOUBLE_EQ(c.WindowSum(1.5), 11.0);
+  EXPECT_DOUBLE_EQ(c.WindowRatePerS(1.5), 1.1);
+  // The cumulative total never expires; the window does.
+  EXPECT_DOUBLE_EQ(c.WindowSum(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.total(), 11.0);
+}
+
+TEST(Metrics, GaugeLastWriteWinsWithWindowMax) {
+  Gauge g(WindowConfig{10.0, 5});
+  g.Set(1.0, 42.0);
+  g.Set(2.0, 7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+  EXPECT_DOUBLE_EQ(g.WindowMax(2.0), 42.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);  // value() ignores window expiry.
+}
+
+TEST(Metrics, SketchCumulativeAndWindowDiverge) {
+  Sketch s(WindowConfig{10.0, 5});
+  s.Observe(1.0, 100.0);
+  s.Observe(50.0, 10.0);
+  EXPECT_EQ(s.Cumulative().Count(), 2);
+  EXPECT_DOUBLE_EQ(s.Cumulative().MaxValue(), 100.0);
+  const Histogram w = s.WindowSnapshot(50.0);
+  EXPECT_EQ(w.Count(), 1);
+  EXPECT_DOUBLE_EQ(w.MaxValue(), 10.0);
+}
+
+// --- Registry ----------------------------------------------------------------
+
+TEST(Registry, GetReturnsStablePointerPerInstance) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("fi_x_total", ClassLabels(0, 1));
+  Counter* b = reg.GetCounter("fi_x_total", ClassLabels(0, 1));
+  Counter* other = reg.GetCounter("fi_x_total", ClassLabels(1, 1));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, other);
+  a->Inc(0.0, 3.0);
+  other->Inc(0.0, 4.0);
+  EXPECT_DOUBLE_EQ(reg.CounterFamilyTotal("fi_x_total"), 7.0);
+  EXPECT_EQ(reg.InstanceNames().size(), 2u);
+}
+
+TEST(Registry, FindDoesNotRegister) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.FindCounter("fi_x_total"), nullptr);
+  reg.GetCounter("fi_x_total")->Inc(0.0);
+  EXPECT_NE(reg.FindCounter("fi_x_total"), nullptr);
+  // Wrong type or wrong labels -> null, not a new instance.
+  EXPECT_EQ(reg.FindGauge("fi_x_total"), nullptr);
+  EXPECT_EQ(reg.FindCounter("fi_x_total", ClassLabels(0, 0)), nullptr);
+  EXPECT_EQ(reg.InstanceNames().size(), 1u);
+}
+
+// --- Exposition --------------------------------------------------------------
+
+TEST(Exposition, PrometheusTextShape) {
+  MetricsRegistry reg;
+  reg.GetCounter("fi_tokens_total", ClassLabels(0, 1))->Inc(1.0, 128.0);
+  reg.GetGauge("fi_queue_depth")->Set(1.0, 3.0);
+  Sketch* s = reg.GetSketch("fi_ttft_ms");
+  for (int i = 1; i <= 100; ++i) s->Observe(1.0, static_cast<double>(i));
+  const std::string text = reg.PrometheusText(1.0);
+
+  EXPECT_NE(text.find("# TYPE fi_tokens_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("fi_tokens_total{priority=\"1\",tenant=\"0\"} 128\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE fi_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("fi_queue_depth 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fi_ttft_ms histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("fi_ttft_ms_bucket{le=\"+Inf\"} 100\n"), std::string::npos);
+  EXPECT_NE(text.find("fi_ttft_ms_count 100\n"), std::string::npos);
+  EXPECT_NE(text.find("fi_ttft_ms_sum 5050\n"), std::string::npos);
+  // `le` buckets are cumulative and nondecreasing.
+  int64_t prev = 0;
+  size_t pos = 0;
+  int buckets = 0;
+  while ((pos = text.find("fi_ttft_ms_bucket{le=\"", pos)) != std::string::npos) {
+    const size_t sp = text.find(' ', pos);
+    const int64_t cum = std::strtoll(text.c_str() + sp + 1, nullptr, 10);
+    EXPECT_GE(cum, prev);
+    prev = cum;
+    ++buckets;
+    pos = sp;
+  }
+  EXPECT_GT(buckets, 5);
+  EXPECT_EQ(prev, 100);  // The +Inf bucket carries the full count.
+}
+
+TEST(Exposition, JsonSnapshotParsesWithSchema) {
+  MetricsRegistry reg(WindowConfig{10.0, 5});
+  reg.GetCounter("fi_tokens_total", ClassLabels(2, 0))->Inc(1.0, 50.0);
+  reg.GetGauge("fi_kv_device_tokens")->Set(1.0, 4096.0);
+  Sketch* s = reg.GetSketch("fi_itl_ms", ClassLabels(2, 0));
+  for (int i = 1; i <= 10; ++i) s->Observe(1.0, 5.0 * i);
+
+  util::JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(util::JsonParse(reg.JsonSnapshot(2.0), &doc, &err)) << err;
+  EXPECT_DOUBLE_EQ(doc.NumberOr("now_s", -1.0), 2.0);
+  EXPECT_DOUBLE_EQ(doc.NumberOr("window_s", -1.0), 10.0);
+  const util::JsonValue* metrics = doc.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->IsArray());
+  ASSERT_EQ(metrics->arr.size(), 3u);
+
+  int counters = 0, gauges = 0, sketches = 0;
+  for (const auto& m : metrics->arr) {
+    const std::string type = m.StringOr("type", "");
+    ASSERT_NE(m.Find("labels"), nullptr);
+    if (type == "counter") {
+      ++counters;
+      EXPECT_EQ(m.StringOr("name", ""), "fi_tokens_total");
+      EXPECT_EQ(m.Find("labels")->StringOr("tenant", ""), "2");
+      EXPECT_DOUBLE_EQ(m.NumberOr("total", -1.0), 50.0);
+      EXPECT_DOUBLE_EQ(m.NumberOr("window_sum", -1.0), 50.0);
+      EXPECT_DOUBLE_EQ(m.NumberOr("window_rate_per_s", -1.0), 5.0);
+    } else if (type == "gauge") {
+      ++gauges;
+      EXPECT_DOUBLE_EQ(m.NumberOr("value", -1.0), 4096.0);
+      EXPECT_DOUBLE_EQ(m.NumberOr("window_max", -1.0), 4096.0);
+    } else if (type == "sketch") {
+      ++sketches;
+      EXPECT_DOUBLE_EQ(m.NumberOr("count", -1.0), 10.0);
+      EXPECT_DOUBLE_EQ(m.NumberOr("max", -1.0), 50.0);
+      EXPECT_GT(m.NumberOr("p50", 0.0), 0.0);
+      const util::JsonValue* window = m.Find("window");
+      ASSERT_NE(window, nullptr);
+      EXPECT_DOUBLE_EQ(window->NumberOr("count", -1.0), 10.0);
+    }
+  }
+  EXPECT_EQ(counters, 1);
+  EXPECT_EQ(gauges, 1);
+  EXPECT_EQ(sketches, 1);
+}
+
+// --- Cluster merge -----------------------------------------------------------
+
+TEST(Merge, RelabelsEveryInstance) {
+  MetricsRegistry r0, r1, merged;
+  r0.GetCounter("fi_steps_total")->Inc(1.0, 10.0);
+  r0.GetSketch("fi_ttft_ms", ClassLabels(0, 0))->Observe(1.0, 25.0);
+  r1.GetCounter("fi_steps_total")->Inc(1.0, 4.0);
+  merged.MergeFrom(r0, "replica", "0");
+  merged.MergeFrom(r1, "replica", "1");
+
+  const Counter* c0 = merged.FindCounter("fi_steps_total", LabelSet{{"replica", "0"}});
+  const Counter* c1 = merged.FindCounter("fi_steps_total", LabelSet{{"replica", "1"}});
+  ASSERT_NE(c0, nullptr);
+  ASSERT_NE(c1, nullptr);
+  EXPECT_DOUBLE_EQ(c0->total(), 10.0);
+  EXPECT_DOUBLE_EQ(c1->total(), 4.0);
+  EXPECT_DOUBLE_EQ(merged.CounterFamilyTotal("fi_steps_total"), 14.0);
+  // The sketch kept its class labels and gained the replica label.
+  const Sketch* s = merged.FindSketch("fi_ttft_ms", ClassLabels(0, 0).With("replica", "0"));
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->Cumulative().Count(), 1);
+  // Merge copies: mutating the source later does not affect the merged view.
+  r0.GetCounter("fi_steps_total")->Inc(2.0, 100.0);
+  EXPECT_DOUBLE_EQ(c0->total(), 10.0);
+}
+
+TEST(Merge, ClusterEngineMergesReplicaRegistries) {
+  cluster::ClusterConfig cfg;
+  cfg.engine.model = serving::Llama31_8B();
+  cfg.engine.device = gpusim::H100Sxm80GB();
+  cfg.engine.backend = serving::FlashInferBackend();
+  cfg.engine.telemetry.enabled = true;
+  cfg.num_replicas = 2;
+  Rng rng(17);
+  const auto workload = serving::ShareGptWorkload(rng, 30, 40.0);
+  cluster::ClusterEngine engine(cfg);
+  const auto m = engine.Run(workload);
+
+  const obs::MetricsRegistry* merged = engine.Telemetry();
+  ASSERT_NE(merged, nullptr);
+  // Replica-labeled family totals reconcile with the aggregate metrics.
+  EXPECT_DOUBLE_EQ(merged->CounterFamilyTotal("fi_output_tokens_total"),
+                   static_cast<double>(m.aggregate.total_output_tokens));
+  EXPECT_DOUBLE_EQ(merged->CounterFamilyTotal("fi_steps_total"),
+                   static_cast<double>(m.aggregate.num_steps));
+  // Both replicas contributed distinct instances.
+  EXPECT_NE(merged->FindCounter("fi_steps_total", LabelSet{{"replica", "0"}}), nullptr);
+  EXPECT_NE(merged->FindCounter("fi_steps_total", LabelSet{{"replica", "1"}}), nullptr);
+  // The merged snapshot still parses.
+  util::JsonValue doc;
+  std::string err;
+  EXPECT_TRUE(util::JsonParse(merged->JsonSnapshot(m.makespan_s), &doc, &err)) << err;
+}
+
+TEST(Merge, ClusterTelemetryDisabledByDefault) {
+  cluster::ClusterConfig cfg;
+  cfg.engine.model = serving::Llama31_8B();
+  cfg.engine.device = gpusim::H100Sxm80GB();
+  cfg.engine.backend = serving::FlashInferBackend();
+  cfg.num_replicas = 2;
+  Rng rng(18);
+  cluster::ClusterEngine engine(cfg);
+  engine.Run(serving::ShareGptWorkload(rng, 10, 40.0));
+  EXPECT_EQ(engine.Telemetry(), nullptr);
+}
+
+}  // namespace
+}  // namespace flashinfer

@@ -119,6 +119,62 @@ TEST(Histogram, UnderflowAndOverflowCounted) {
   EXPECT_EQ(h.BucketCount(h.NumBuckets() - 1), 1);   // Overflow bucket.
 }
 
+TEST(Histogram, EmptyIsWellDefined) {
+  const Histogram h;
+  EXPECT_EQ(h.Count(), 0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(Histogram, SingleBucketQuantilesClampToObservedRange) {
+  Histogram h;
+  // Identical samples land in one bucket: every quantile must answer within
+  // the observed (degenerate) range, not the bucket's full geometric span.
+  for (int i = 0; i < 100; ++i) h.Add(42.0);
+  EXPECT_DOUBLE_EQ(h.MinValue(), 42.0);
+  EXPECT_DOUBLE_EQ(h.MaxValue(), 42.0);
+  for (const double p : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(p), 42.0) << "p=" << p;
+  }
+}
+
+TEST(Histogram, OverflowBucketQuantileStaysWithinMax) {
+  Histogram h(/*lo=*/1.0, /*hi=*/100.0);
+  // Most mass beyond the top regular bucket: the overflow bucket has no
+  // upper edge, so quantiles interpolating inside it must clamp to the
+  // tracked exact max rather than extrapolating.
+  h.Add(50.0);
+  for (int i = 0; i < 99; ++i) h.Add(1000.0 + i);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_GE(p99, 100.0);
+  EXPECT_LE(p99, h.MaxValue());
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), h.MaxValue());
+}
+
+TEST(Histogram, MergeFromAccumulatesAndTracksExtremes) {
+  Histogram a, b;
+  for (int i = 1; i <= 100; ++i) a.Add(static_cast<double>(i));
+  for (int i = 101; i <= 200; ++i) b.Add(static_cast<double>(i));
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Count(), 200);
+  EXPECT_DOUBLE_EQ(a.MinValue(), 1.0);
+  EXPECT_DOUBLE_EQ(a.MaxValue(), 200.0);
+  EXPECT_NEAR(a.Mean(), 100.5, 1e-9);
+  EXPECT_NEAR(a.Quantile(0.5), 100.0, 100.0 * 0.2);
+  // Merging an empty histogram is a no-op (including min/max).
+  const double before = a.Quantile(0.9);
+  a.MergeFrom(Histogram());
+  EXPECT_EQ(a.Count(), 200);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.9), before);
+  // Merging INTO an empty histogram adopts the source's extremes.
+  Histogram c;
+  c.MergeFrom(a);
+  EXPECT_EQ(c.Count(), 200);
+  EXPECT_DOUBLE_EQ(c.MinValue(), 1.0);
+  EXPECT_DOUBLE_EQ(c.MaxValue(), 200.0);
+}
+
 TEST(Histogram, FromSamplesMatchesPercentileRoughly) {
   std::vector<double> samples;
   for (int i = 0; i < 500; ++i) samples.push_back(5.0 + (i % 50));

@@ -98,6 +98,13 @@ EngineConfig RandomConfig(Rng& rng) {
   // A small ring keeps the per-trial cost flat and exercises wraparound.
   cfg.trace.enabled = true;
   cfg.trace.capacity = 4096;
+  // Telemetry rides every trial: the publication sites soak across the whole
+  // config space and the registry is reconciled against ServingMetrics after
+  // each drain. Randomized window geometry exercises the slot-ring epochs.
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.window.window_s = rng.Uniform(2.0, 20.0);
+  cfg.telemetry.window.slots = static_cast<int>(rng.UniformInt(2, 8));
+  cfg.telemetry.bounded_itl = rng.NextDouble() < 0.25;
   // Chunking on/off; when on, vary the chunk size.
   cfg.prefill_chunk_tokens =
       rng.NextDouble() < 0.25 ? 0 : rng.UniformInt(256, 2048);
@@ -233,6 +240,58 @@ void RunEngineTrial(uint64_t seed, bool check_step_equiv) {
   EXPECT_EQ(m.num_swap_restores + m.num_recompute_restores, m.num_preemptions);
   EXPECT_EQ(m.restored_pages == 0, m.num_swap_restores == 0);
 
+  // The telemetry registry must reconcile with ServingMetrics on every
+  // trial: each published counter shadows a metrics field exactly, and the
+  // per-class latency sketches tile the aggregate sample counts.
+  {
+    const obs::MetricsRegistry* reg = engine.Telemetry();
+    ASSERT_NE(reg, nullptr);
+    const auto total = [&](const char* name) { return reg->CounterFamilyTotal(name); };
+    EXPECT_DOUBLE_EQ(total("fi_steps_total"), static_cast<double>(m.num_steps));
+    EXPECT_DOUBLE_EQ(total("fi_output_tokens_total"),
+                     static_cast<double>(m.total_output_tokens));
+    EXPECT_DOUBLE_EQ(total("fi_tokens_total"),
+                     static_cast<double>(m.total_output_tokens));
+    EXPECT_DOUBLE_EQ(total("fi_prefill_tokens_total"),
+                     static_cast<double>(m.total_prefill_tokens));
+    EXPECT_DOUBLE_EQ(total("fi_recompute_tokens_total"),
+                     static_cast<double>(m.recompute_tokens));
+    EXPECT_DOUBLE_EQ(total("fi_preemptions_total"),
+                     static_cast<double>(m.num_preemptions));
+    EXPECT_DOUBLE_EQ(total("fi_requests_rejected_total"),
+                     static_cast<double>(m.rejected_requests));
+    EXPECT_DOUBLE_EQ(total("fi_swap_restores_total"),
+                     static_cast<double>(m.num_swap_restores));
+    EXPECT_DOUBLE_EQ(total("fi_recompute_restores_total"),
+                     static_cast<double>(m.num_recompute_restores));
+    EXPECT_DOUBLE_EQ(total("fi_evicted_pages_total"),
+                     static_cast<double>(m.evicted_pages));
+    EXPECT_DOUBLE_EQ(total("fi_restored_pages_total"),
+                     static_cast<double>(m.restored_pages));
+    EXPECT_NEAR(total("fi_swap_ms_total"), m.total_swap_ms,
+                1e-9 * std::max(1.0, m.total_swap_ms));
+    int64_t ttft_samples = 0, itl_samples = 0;
+    for (const auto& [name, label_key] : reg->InstanceNames()) {
+      if (name != "fi_ttft_ms" && name != "fi_itl_ms") continue;
+      // Reconstruct the class labels from the canonical key (k=v,k=v).
+      obs::LabelSet labels;
+      size_t pos = 0;
+      while (pos < label_key.size()) {
+        const size_t eq = label_key.find('=', pos);
+        size_t end = label_key.find(',', eq);
+        if (end == std::string::npos) end = label_key.size();
+        labels = labels.With(label_key.substr(pos, eq - pos),
+                             label_key.substr(eq + 1, end - eq - 1));
+        pos = end + 1;
+      }
+      const obs::Sketch* s = reg->FindSketch(name, labels);
+      ASSERT_NE(s, nullptr) << name << "{" << label_key << "}";
+      (name == "fi_ttft_ms" ? ttft_samples : itl_samples) += s->Cumulative().Count();
+    }
+    EXPECT_EQ(ttft_samples, static_cast<int64_t>(m.ttft_ms.size()));
+    EXPECT_EQ(itl_samples, m.ItlCount());
+  }
+
   g_current_engine = nullptr;
   if (!check_step_equiv) {
     if (FailedPartCount() > failed_before) {
@@ -304,6 +363,15 @@ void RunClusterTrial(uint64_t seed) {
   int64_t per_replica_requests = 0;
   for (int64_t n : m.replica_requests) per_replica_requests += n;
   EXPECT_EQ(per_replica_requests, static_cast<int64_t>(reqs.size()));
+  // The merged (replica-relabeled) registry reconciles with the aggregate.
+  const obs::MetricsRegistry* reg = cluster.Telemetry();
+  ASSERT_NE(reg, nullptr);
+  EXPECT_DOUBLE_EQ(reg->CounterFamilyTotal("fi_output_tokens_total"),
+                   static_cast<double>(m.aggregate.total_output_tokens));
+  EXPECT_DOUBLE_EQ(reg->CounterFamilyTotal("fi_steps_total"),
+                   static_cast<double>(m.aggregate.num_steps));
+  EXPECT_DOUBLE_EQ(reg->CounterFamilyTotal("fi_preemptions_total"),
+                   static_cast<double>(m.aggregate.num_preemptions));
   if (FailedPartCount() > failed_before) {
     DumpTrialTrace(cluster.LastTrace(), seed);
   }

@@ -1,0 +1,329 @@
+// Engine telemetry invariants:
+//
+//  * Disabled telemetry is bit-identical: an engine with the telemetry plane
+//    off produces exactly the metrics of one with it on (telemetry observes,
+//    never perturbs the schedule).
+//  * The registry reconciles with ServingMetrics: every counter the engine
+//    publishes equals the corresponding ServingMetrics field, and the
+//    per-class sketch sample counts tile the TTFT/ITL sample vectors.
+//  * Bounded ITL mode answers percentile/max queries from the log-bucketed
+//    sketch within its documented error, with exact count and max.
+//  * SLO burn-rate monitors classify, fire edge-triggered alerts into the
+//    trace, and recover when the burn subsides.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "obs/slo.h"
+#include "obs/trace.h"
+#include "serving/engine.h"
+
+namespace flashinfer {
+namespace {
+
+using obs::SloMonitor;
+using obs::SloSignal;
+using obs::SloSpec;
+using obs::TraceName;
+using serving::EngineConfig;
+using serving::Request;
+using serving::ServingEngine;
+using serving::ServingMetrics;
+
+EngineConfig BaseConfig() {
+  EngineConfig cfg;
+  cfg.model = serving::Llama31_8B();
+  cfg.device = gpusim::H100Sxm80GB();
+  cfg.backend = serving::FlashInferBackend();
+  return cfg;
+}
+
+double HbmForBudget(const EngineConfig& cfg, int64_t budget_tokens) {
+  const double kv_bytes = static_cast<double>(budget_tokens) *
+                          cfg.model.KvBytesPerToken(cfg.backend.kv_dtype) / 0.9;
+  return (cfg.model.WeightBytesPerGpu() + kv_bytes) / 1e9;
+}
+
+/// Mixed multi-tenant workload: three tenants, two priorities, enough input
+/// spread to exercise chunking and (under a tight budget) preemption.
+std::vector<Request> MixedWorkload(int n) {
+  std::vector<Request> reqs;
+  for (int i = 0; i < n; ++i) {
+    Request r;
+    r.id = i;
+    r.arrival_s = i * 0.02;
+    r.input_len = 300 + (i * 467) % 2200;
+    r.output_len = 20 + (i * 131) % 120;
+    r.priority = i % 2;
+    r.tenant = i % 3;
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
+/// A pressured config that preempts and restores: the telemetry sites on the
+/// eviction/restore paths must all be covered by the comparisons below.
+EngineConfig PressuredConfig() {
+  EngineConfig cfg = BaseConfig();
+  cfg.prefill_chunk_tokens = 512;
+  cfg.preemption.enabled = true;
+  cfg.hbm_capacity_gb = HbmForBudget(cfg, 6000);
+  return cfg;
+}
+
+void ExpectMetricsIdentical(const ServingMetrics& a, const ServingMetrics& b) {
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.total_output_tokens, b.total_output_tokens);
+  EXPECT_EQ(a.num_steps, b.num_steps);
+  EXPECT_EQ(a.total_prefill_tokens, b.total_prefill_tokens);
+  EXPECT_EQ(a.num_preemptions, b.num_preemptions);
+  EXPECT_EQ(a.rejected_requests, b.rejected_requests);
+  EXPECT_DOUBLE_EQ(a.total_attention_ms, b.total_attention_ms);
+  EXPECT_DOUBLE_EQ(a.total_gemm_ms, b.total_gemm_ms);
+  EXPECT_DOUBLE_EQ(a.total_host_ms, b.total_host_ms);
+  ASSERT_EQ(a.ttft_ms.size(), b.ttft_ms.size());
+  for (size_t i = 0; i < a.ttft_ms.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.ttft_ms[i], b.ttft_ms[i]) << "ttft sample " << i;
+  }
+  ASSERT_EQ(a.itl_ms.size(), b.itl_ms.size());
+  for (size_t i = 0; i < a.itl_ms.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.itl_ms[i], b.itl_ms[i]) << "itl sample " << i;
+  }
+}
+
+// Telemetry (with SLO monitoring on top) must not perturb the schedule: the
+// acceptance-pinned invariant that EngineConfig::telemetry.enabled=false is
+// metrics-bit-identical to the instrumented engine.
+TEST(Telemetry, DisabledIsBitIdenticalToEnabled) {
+  EngineConfig plain = PressuredConfig();
+  EngineConfig instrumented = PressuredConfig();
+  instrumented.telemetry.enabled = true;
+  SloSpec slo;
+  slo.name = "ttft_p99";
+  slo.signal = SloSignal::kTtft;
+  slo.threshold_ms = 200.0;
+  slo.objective = 0.99;
+  instrumented.telemetry.slos.push_back(slo);
+
+  const auto reqs = MixedWorkload(24);
+  const auto a = ServingEngine(plain).Run(reqs);
+  const auto b = ServingEngine(instrumented).Run(reqs);
+  ExpectMetricsIdentical(a, b);
+}
+
+TEST(Telemetry, DisabledExposesNoRegistry) {
+  ServingEngine engine(BaseConfig());
+  engine.Run(MixedWorkload(6));
+  EXPECT_EQ(engine.Telemetry(), nullptr);
+  EXPECT_EQ(engine.Slo(), nullptr);
+}
+
+// Every engine-published counter must equal the ServingMetrics field it
+// shadows — the same invariant the soak harness checks across random configs.
+TEST(Telemetry, RegistryReconcilesWithServingMetrics) {
+  EngineConfig cfg = PressuredConfig();
+  cfg.telemetry.enabled = true;
+  ServingEngine engine(cfg);
+  const ServingMetrics m = engine.Run(MixedWorkload(24));
+  const obs::MetricsRegistry* reg = engine.Telemetry();
+  ASSERT_NE(reg, nullptr);
+
+  const auto total = [&](const char* name) { return reg->CounterFamilyTotal(name); };
+  EXPECT_DOUBLE_EQ(total("fi_steps_total"), static_cast<double>(m.num_steps));
+  EXPECT_DOUBLE_EQ(total("fi_output_tokens_total"),
+                   static_cast<double>(m.total_output_tokens));
+  EXPECT_DOUBLE_EQ(total("fi_prefill_tokens_total"),
+                   static_cast<double>(m.total_prefill_tokens));
+  EXPECT_DOUBLE_EQ(total("fi_recompute_tokens_total"),
+                   static_cast<double>(m.recompute_tokens));
+  EXPECT_DOUBLE_EQ(total("fi_preemptions_total"), static_cast<double>(m.num_preemptions));
+  EXPECT_DOUBLE_EQ(total("fi_requests_rejected_total"),
+                   static_cast<double>(m.rejected_requests));
+  EXPECT_DOUBLE_EQ(total("fi_swap_restores_total"),
+                   static_cast<double>(m.num_swap_restores));
+  EXPECT_DOUBLE_EQ(total("fi_recompute_restores_total"),
+                   static_cast<double>(m.num_recompute_restores));
+  EXPECT_DOUBLE_EQ(total("fi_evicted_pages_total"), static_cast<double>(m.evicted_pages));
+  EXPECT_DOUBLE_EQ(total("fi_restored_pages_total"),
+                   static_cast<double>(m.restored_pages));
+  EXPECT_NEAR(total("fi_swap_ms_total"), m.total_swap_ms,
+              1e-9 * std::max(1.0, m.total_swap_ms));
+  EXPECT_GT(m.num_preemptions, 0);  // The pressured config actually preempted.
+
+  // The per-class series tile the aggregate sample vectors exactly.
+  EXPECT_DOUBLE_EQ(reg->CounterFamilyTotal("fi_tokens_total"),
+                   static_cast<double>(m.total_output_tokens));
+  int64_t ttft_samples = 0, itl_samples = 0;
+  for (int tenant = 0; tenant < 3; ++tenant) {
+    for (int priority = 0; priority < 2; ++priority) {
+      const obs::LabelSet labels = obs::ClassLabels(tenant, priority);
+      if (const obs::Sketch* s = reg->FindSketch("fi_ttft_ms", labels)) {
+        ttft_samples += s->Cumulative().Count();
+      }
+      if (const obs::Sketch* s = reg->FindSketch("fi_itl_ms", labels)) {
+        itl_samples += s->Cumulative().Count();
+      }
+    }
+  }
+  EXPECT_EQ(ttft_samples, static_cast<int64_t>(m.ttft_ms.size()));
+  EXPECT_EQ(itl_samples, m.ItlCount());
+
+  // Occupancy gauges exist and the device gauge saw the pressure.
+  const obs::Gauge* kv = reg->FindGauge("fi_kv_device_tokens");
+  ASSERT_NE(kv, nullptr);
+  EXPECT_GT(kv->WindowMax(m.makespan_s), 0.0);
+  EXPECT_NE(reg->FindGauge("fi_queue_depth"), nullptr);
+}
+
+// Bounded-ITL mode: the schedule is untouched, the percentile queries come
+// from the sketch (within its ~19% bucket error), and count/max are exact.
+TEST(Telemetry, BoundedItlMatchesExactWithinSketchError) {
+  EngineConfig exact_cfg = PressuredConfig();
+  exact_cfg.telemetry.enabled = true;
+  EngineConfig bounded_cfg = exact_cfg;
+  bounded_cfg.telemetry.bounded_itl = true;
+
+  const auto reqs = MixedWorkload(24);
+  const ServingMetrics exact = ServingEngine(exact_cfg).Run(reqs);
+  const ServingMetrics bounded = ServingEngine(bounded_cfg).Run(reqs);
+
+  EXPECT_DOUBLE_EQ(exact.makespan_s, bounded.makespan_s);
+  EXPECT_EQ(exact.total_output_tokens, bounded.total_output_tokens);
+  // The bounded run dropped the per-token vector but kept the exact count,
+  // and the sketch tracks exact min/max.
+  EXPECT_TRUE(bounded.itl_ms.empty());
+  EXPECT_GT(exact.itl_ms.size(), 0u);
+  EXPECT_EQ(bounded.ItlCount(), exact.ItlCount());
+  EXPECT_DOUBLE_EQ(bounded.MaxItlMs(), exact.MaxItlMs());
+  // Percentiles answer from log buckets: pinned to the documented error.
+  for (const double p : {0.5, 0.9, 0.99}) {
+    const double e = exact.ItlPercentileMs(p);
+    const double b = bounded.ItlPercentileMs(p);
+    EXPECT_NEAR(b, e, 0.2 * std::max(e, 1e-9)) << "p=" << p;
+  }
+  EXPECT_NEAR(bounded.MedianItlMs(), exact.MedianItlMs(),
+              0.2 * std::max(exact.MedianItlMs(), 1e-9));
+}
+
+// --- SloMonitor --------------------------------------------------------------
+
+SloSpec TightSpec() {
+  SloSpec spec;
+  spec.name = "itl_p90";
+  spec.signal = SloSignal::kItl;
+  spec.threshold_ms = 10.0;
+  spec.objective = 0.9;  // 10% error budget.
+  spec.fast_window_s = 5.0;
+  spec.slow_window_s = 30.0;
+  spec.fast_burn = 2.0;
+  spec.slow_burn = 1.0;
+  return spec;
+}
+
+TEST(Slo, BurnRateMathAndAttainment) {
+  SloMonitor mon({TightSpec()}, /*trace=*/nullptr);
+  for (int i = 0; i < 5; ++i) mon.Observe(SloSignal::kItl, 0, 0, 5.0, 1.0);
+  for (int i = 0; i < 5; ++i) mon.Observe(SloSignal::kItl, 0, 0, 50.0, 1.0);
+  const auto status = mon.Status(1.0);
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_EQ(status[0].good, 5);
+  EXPECT_EQ(status[0].bad, 5);
+  EXPECT_DOUBLE_EQ(status[0].attainment, 0.5);
+  // Bad fraction 0.5 against a 0.1 budget: burning 5x too fast.
+  EXPECT_NEAR(status[0].fast_burn, 5.0, 1e-9);
+  EXPECT_NEAR(status[0].slow_burn, 5.0, 1e-9);
+}
+
+TEST(Slo, AlertsAreEdgeTriggeredAndRecover) {
+  obs::TraceRecorder trace(64);
+  SloMonitor mon({TightSpec()}, &trace);
+  // All-bad stream: burn 10x in both windows -> must fire exactly once.
+  for (int i = 0; i < 10; ++i) mon.Observe(SloSignal::kItl, 0, 0, 100.0, 1.0);
+  mon.Evaluate(1.0);
+  mon.Evaluate(1.5);  // Still firing: no second edge.
+  EXPECT_EQ(mon.TotalAlerts(), 1);
+  EXPECT_TRUE(mon.Status(1.5)[0].firing);
+  // Far past both windows the burn is gone: the alert recovers.
+  mon.Evaluate(100.0);
+  EXPECT_FALSE(mon.Status(100.0)[0].firing);
+  EXPECT_EQ(mon.TotalAlerts(), 1);
+
+  int alerts = 0, recovers = 0;
+  for (const auto& e : trace.Events()) {
+    if (e.name == TraceName::kSloAlert) ++alerts;
+    if (e.name == TraceName::kSloRecover) ++recovers;
+  }
+  EXPECT_EQ(alerts, 1);
+  EXPECT_EQ(recovers, 1);
+}
+
+TEST(Slo, SlowWindowVetoesTransientBurn) {
+  // Same burn thresholds, but the spec requires the slow window to confirm:
+  // a burst that only the fast window sees must not fire.
+  SloSpec spec = TightSpec();
+  spec.slow_burn = 8.0;  // Slow window must independently show a hard burn.
+  SloMonitor mon({spec}, nullptr);
+  // 2 bad in a 30 s slow window otherwise full of good samples.
+  for (int i = 0; i < 50; ++i) mon.Observe(SloSignal::kItl, 0, 0, 5.0, 1.0);
+  mon.Observe(SloSignal::kItl, 0, 0, 100.0, 28.0);
+  mon.Observe(SloSignal::kItl, 0, 0, 100.0, 28.0);
+  mon.Evaluate(28.0);
+  // Fast window: all-bad (burn 10 >= 2); slow window dilutes to ~0.04 bad
+  // fraction (burn ~0.4 < 8) -> vetoed.
+  const auto status = mon.Status(28.0);
+  EXPECT_GE(status[0].fast_burn, spec.fast_burn);
+  EXPECT_LT(status[0].slow_burn, spec.slow_burn);
+  EXPECT_FALSE(status[0].firing);
+  EXPECT_EQ(mon.TotalAlerts(), 0);
+}
+
+TEST(Slo, ClassFilterSelectsSamples) {
+  SloSpec spec = TightSpec();
+  spec.tenant = 0;
+  spec.priority = SloSpec::kAnyClass;
+  SloMonitor mon({spec}, nullptr);
+  mon.Observe(SloSignal::kItl, 0, 1, 100.0, 1.0);   // Matches (any priority).
+  mon.Observe(SloSignal::kItl, 1, 0, 100.0, 1.0);   // Other tenant: ignored.
+  mon.Observe(SloSignal::kItl, -1, 0, 100.0, 1.0);  // Unassigned: ignored.
+  mon.Observe(SloSignal::kTtft, 0, 0, 100.0, 1.0);  // Other signal: ignored.
+  const auto status = mon.Status(1.0);
+  EXPECT_EQ(status[0].good + status[0].bad, 1);
+}
+
+// End-to-end: an impossible TTFT objective over a real pressured run fires at
+// least one burn alert, visible both in the monitor and as a Perfetto
+// instant on the engine trace.
+TEST(Slo, EngineRunFiresAlertIntoTrace) {
+  EngineConfig cfg = PressuredConfig();
+  cfg.trace.enabled = true;
+  cfg.telemetry.enabled = true;
+  SloSpec spec;
+  spec.name = "impossible_ttft";
+  spec.signal = SloSignal::kTtft;
+  spec.threshold_ms = 0.01;  // No prefill finishes this fast.
+  spec.objective = 0.9;
+  spec.fast_window_s = 2.0;
+  spec.slow_window_s = 10.0;
+  spec.fast_burn = 2.0;
+  spec.slow_burn = 1.0;
+  cfg.telemetry.slos.push_back(spec);
+
+  ServingEngine engine(cfg);
+  engine.Run(MixedWorkload(24));
+  const SloMonitor* slo = engine.Slo();
+  ASSERT_NE(slo, nullptr);
+  EXPECT_GE(slo->TotalAlerts(), 1);
+  const auto status = slo->Status(engine.Metrics().makespan_s);
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_LT(status[0].attainment, 0.01);  // Every sample violated.
+
+  int alert_instants = 0;
+  for (const auto& e : engine.TraceEvents()) {
+    if (e.name == TraceName::kSloAlert) ++alert_instants;
+  }
+  EXPECT_GE(alert_instants, 1);
+}
+
+}  // namespace
+}  // namespace flashinfer
