@@ -50,6 +50,7 @@ ServingMetrics RunWith(const std::vector<Request>& w, int64_t chunk,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bench::WallTimer wall_timer;
   const bool quick = bench::HasFlag(argc, argv, "--quick");
   const char* json_path = bench::ArgValue(argc, argv, "--json");
 
@@ -237,6 +238,7 @@ int main(int argc, char** argv) {
                   headline_stall_free && naive_win < bal_win &&
                   naive_attn_frac >= 1.1;
   json.Add("acceptance_passed", ok ? 1.0 : 0.0);
+  json.Add("wall_ms", wall_timer.ElapsedMs());
   if (!json.WriteTo(json_path)) return 1;
   if (!ok) {
     std::printf("ACCEPTANCE FAILED\n");

@@ -57,6 +57,7 @@ TenantPoolConfig FleetPool() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bench::WallTimer wall_timer;
   const bool quick = bench::HasFlag(argc, argv, "--quick");
   const char* json_path = bench::ArgValue(argc, argv, "--json");
   const int base_requests = quick ? 60 : 400;
@@ -116,6 +117,7 @@ int main(int argc, char** argv) {
     const bool ok = hit_ratio >= 1.2 && pa.load_imbalance <= 1.5;
     json.Add("acceptance_passed", ok ? 1.0 : 0.0);
     if (!ok) {
+      json.Add("wall_ms", wall_timer.ElapsedMs());
       json.WriteTo(json_path);
       std::printf("ACCEPTANCE FAILED\n");
       return 1;
@@ -150,6 +152,7 @@ int main(int argc, char** argv) {
     bench::Note("slightly above RoundRobin's — the affinity/imbalance tradeoff the cap");
     bench::Note("bounds (see src/cluster/router.h).");
   }
+  json.Add("wall_ms", wall_timer.ElapsedMs());
   if (!json.WriteTo(json_path)) return 1;
   if (const char* baseline = bench::ArgValue(argc, argv, "--check")) {
     if (!bench::CheckBaseline(baseline, json)) return 1;

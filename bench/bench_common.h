@@ -8,6 +8,7 @@
 // vs. the authors' testbed); orderings, ratios, and crossovers are.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -20,6 +21,24 @@
 #include "util/table.h"
 
 namespace flashinfer::bench {
+
+/// Real (host) wall-clock stopwatch. Simulated time is derived from the cost
+/// model and is byte-reproducible; wall time measures how fast the simulator
+/// itself runs — the quantity the parallel cluster driver exists to improve.
+/// Every bench JSON carries a `wall_ms` so the perf trajectory of the
+/// *harness* is scraped alongside the simulated metrics.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    const auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Returns the value following `flag` in argv, or nullptr when absent
 /// (e.g. ArgValue(argc, argv, "--json") -> the output path).

@@ -32,6 +32,7 @@ struct Setting {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bench::WallTimer wall_timer;
   const char* json_path = bench::ArgValue(argc, argv, "--json");
   bench::Banner("Figure 7", "e2e serving: SGLang + FlashInfer vs SGLang + Triton");
   bench::Note("median ITL / TTFT (ms); cells: measured (paper)");
@@ -85,6 +86,7 @@ int main(int argc, char** argv) {
   }
   bench::Note("\nexpected shape: FlashInfer below Triton on every ITL/TTFT pair;");
   bench::Note("largest ITL gaps on the Variable workload (longer KV, more imbalance).");
+  json.Add("wall_ms", wall_timer.ElapsedMs());
   if (!json.WriteTo(json_path)) return 1;
   return 0;
 }

@@ -41,6 +41,7 @@ EngineConfig TargetConfig() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bench::WallTimer wall_timer;
   const bool quick = bench::HasFlag(argc, argv, "--quick");
   const char* json_path = bench::ArgValue(argc, argv, "--json");
   // Small-batch regime: a backlogged batch small enough that even the verify
@@ -176,6 +177,7 @@ int main(int argc, char** argv) {
                   sat_speedup_lo >= 0.45 && sat_speedup_lo < 0.98 &&
                   sat_speedup_hi >= 1.1;
   json.Add("acceptance_passed", ok ? 1.0 : 0.0);
+  json.Add("wall_ms", wall_timer.ElapsedMs());
   if (!json.WriteTo(json_path)) return 1;
   if (!ok) {
     std::printf("ACCEPTANCE FAILED\n");

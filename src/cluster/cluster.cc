@@ -23,9 +23,24 @@ struct ClusterEngine::Replica {
 
 ClusterEngine::ClusterEngine(ClusterConfig cfg) : cfg_(std::move(cfg)) {
   FI_CHECK_GE(cfg_.num_replicas, 1);
+  FI_CHECK_GE(cfg_.step_threads, 0);
+  if (cfg_.step_threads > 1) pool_ = std::make_unique<ThreadPool>(cfg_.step_threads);
 }
 
 ClusterEngine::~ClusterEngine() = default;
+
+void ClusterEngine::ForEachReplica(const std::function<void(size_t)>& fn) {
+  auto body = [&fn](int64_t i) { fn(static_cast<size_t>(i)); };
+  const int64_t n = static_cast<int64_t>(replicas_.size());
+  if (cfg_.step_threads == 1) {
+    // Fully serial reference driver: no pool involved at all.
+    for (int64_t i = 0; i < n; ++i) body(i);
+  } else if (pool_) {
+    pool_->ParallelFor(n, body);
+  } else {
+    ThreadPool::Global().ParallelFor(n, body);
+  }
+}
 
 ClusterMetrics ClusterEngine::Run(const std::vector<Request>& workload) {
   // Full reset: fresh router stats and cold prefix-cache mirrors, so
@@ -53,8 +68,10 @@ ClusterMetrics ClusterEngine::Run(const std::vector<Request>& workload) {
 
   for (const Request& r : sorted) {
     // Advance every replica to this arrival: each executes the steps it
-    // would have started by now, so the router sees live load.
-    for (auto& rep : replicas_) rep->engine.StepTo(r.arrival_s);
+    // would have started by now, so the router sees live load. The fan-out
+    // runs on the configured pool; its barrier is the router's sync point.
+    ForEachReplica(
+        [this, &r](size_t i) { replicas_[i]->engine.StepTo(r.arrival_s); });
 
     std::vector<ReplicaView> views;
     views.reserve(replicas_.size());
@@ -105,7 +122,7 @@ ClusterMetrics ClusterEngine::Run(const std::vector<Request>& workload) {
     ++rep.requests;
   }
 
-  for (auto& rep : replicas_) rep->engine.Drain();
+  ForEachReplica([this](size_t i) { replicas_[i]->engine.Drain(); });
 
   // --- Merged telemetry: every replica's registry under replica="i". -------
   telemetry_.reset();
@@ -173,6 +190,8 @@ ClusterMetrics ClusterEngine::Run(const std::vector<Request>& workload) {
     agg.evicted_pages += m.evicted_pages;
     agg.restored_pages += m.restored_pages;
     agg.total_swap_ms += m.total_swap_ms;
+    agg.swap_hidden_ms += m.swap_hidden_ms;
+    agg.swap_stall_ms += m.swap_stall_ms;
     agg.recompute_tokens += m.recompute_tokens;
     agg.num_swap_restores += m.num_swap_restores;
     agg.num_recompute_restores += m.num_recompute_restores;

@@ -14,9 +14,19 @@
 // down to a per-replica page budget. Matching happens at admission, not at
 // prefill completion — an idealization that slightly favors bursts of
 // identical prefixes (real engines would stall or recompute in that window).
+//
+// Parallel driver: ClusterConfig::step_threads fans the per-arrival StepTo
+// and the final Drain across a util::ThreadPool. Replica state is fully
+// disjoint (each engine owns its clock, queues, Rng, trace ring, and
+// registry), every simulated quantity is derived from the plan rather than
+// wall-clock interleaving, and the ParallelFor barrier hands control back to
+// the router between fan-outs — so a seeded run produces byte-identical
+// metrics, traces, and telemetry at any thread count (pinned by
+// determinism_test and the soak harness).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -24,6 +34,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "serving/engine.h"
+#include "util/threadpool.h"
 
 namespace flashinfer::cluster {
 
@@ -39,6 +50,13 @@ struct ClusterConfig {
   /// Per-replica prefix-cache capacity in pages; 0 derives it from the
   /// replica's KV token budget (the cache can hold what the HBM could).
   int64_t prefix_cache_pages = 0;
+  /// Threads driving the replica StepTo/Drain fan-out. 1 (default) keeps the
+  /// fully serial driver; 0 uses util::ThreadPool::Global() (FI_THREADS /
+  /// hardware concurrency); N > 1 builds a dedicated pool of N threads.
+  /// Replica state is disjoint and each engine owns its Rng, so seeded runs
+  /// are byte-identical at every setting — the router (which runs on the
+  /// driver thread between fan-outs) is the only synchronization point.
+  int step_threads = 1;
 };
 
 /// Per-replica aggregation of ServingMetrics plus router-level signals.
@@ -92,11 +110,19 @@ class ClusterEngine {
  private:
   struct Replica;
 
+  /// Runs fn(i) over all replicas, on the configured pool (step_threads != 1)
+  /// or inline. Returning is the barrier: every replica has settled before
+  /// the router touches any of them.
+  void ForEachReplica(const std::function<void(size_t)>& fn);
+
   ClusterConfig cfg_;
   std::unique_ptr<Router> router_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<obs::TraceTrack> last_trace_;
   std::unique_ptr<obs::MetricsRegistry> telemetry_;
+  /// Dedicated pool when step_threads > 1 (step_threads == 0 borrows the
+  /// global pool instead; == 1 never touches a pool).
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace flashinfer::cluster

@@ -1,0 +1,40 @@
+#include "gpusim/copystream.h"
+
+#include <algorithm>
+
+namespace flashinfer {
+namespace gpusim {
+
+CopyStream::Transfer CopyStream::Enqueue(double now_s, double duration_us) {
+  Transfer t;
+  t.begin_s = std::max(now_s, busy_until_s_);
+  t.end_s = t.begin_s + duration_us * 1e-6;
+  busy_until_s_ = t.end_s;
+  inflight_.push_back(t);
+  ++num_transfers_;
+  total_busy_us_ += duration_us;
+  return t;
+}
+
+double CopyStream::BusyWithin(double a_s, double b_s) {
+  // Drop intervals that can never intersect a future monotone query.
+  while (!inflight_.empty() && inflight_.front().end_s <= a_s) {
+    inflight_.pop_front();
+  }
+  double busy = 0.0;
+  for (const Transfer& t : inflight_) {
+    if (t.begin_s >= b_s) break;  // FIFO: later intervals start even later.
+    busy += std::max(0.0, std::min(t.end_s, b_s) - std::max(t.begin_s, a_s));
+  }
+  return busy;
+}
+
+void CopyStream::Reset() {
+  inflight_.clear();
+  busy_until_s_ = 0.0;
+  num_transfers_ = 0;
+  total_busy_us_ = 0.0;
+}
+
+}  // namespace gpusim
+}  // namespace flashinfer

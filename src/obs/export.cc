@@ -65,6 +65,12 @@ std::string ArgsFor(const TraceEvent& e) {
       add("kv_len", static_cast<double>(e.a));
       add("pages", static_cast<double>(e.b));
       break;
+    case TraceName::kCopyD2H:
+    case TraceName::kCopyH2D:
+      add("kv_len", static_cast<double>(e.a));
+      add("pages", static_cast<double>(e.b));
+      add("queue_delay_us", static_cast<double>(e.c));
+      break;
     case TraceName::kRouteDecision:
       add("replica", static_cast<double>(e.a));
       add("matched_prefix_tokens", static_cast<double>(e.b));
@@ -136,6 +142,8 @@ void WritePerfettoJson(std::ostream& os, const std::vector<TraceTrack>& tracks) 
            ", \"tid\": 0, \"args\": {\"name\": \"steps\"}");
     w.Emit("\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": " + std::to_string(pid) +
            ", \"tid\": 1, \"args\": {\"name\": \"kv\"}");
+    w.Emit("\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": " + std::to_string(pid) +
+           ", \"tid\": 2, \"args\": {\"name\": \"copy\"}");
     for (const TraceEvent& e : tracks[t].events) {
       const std::string args = ArgsFor(e);
       const std::string args_obj = ", \"args\": {" + args + "}";
@@ -153,9 +161,15 @@ void WritePerfettoJson(std::ostream& os, const std::vector<TraceTrack>& tracks) 
         continue;
       }
       switch (KindOf(e.name)) {
-        case TraceKind::kSpan:
-          w.Emit(Common("X", e, pid, 0) + ", \"dur\": " + JsonNum(e.dur_us) + args_obj);
+        case TraceKind::kSpan: {
+          // Copy-stream DMA spans get their own thread row so overlap with
+          // compute steps is visible (step spans never overlap each other).
+          const bool copy_track =
+              e.name == TraceName::kCopyD2H || e.name == TraceName::kCopyH2D;
+          w.Emit(Common("X", e, pid, copy_track ? 2 : 0) +
+                 ", \"dur\": " + JsonNum(e.dur_us) + args_obj);
           break;
+        }
         case TraceKind::kInstant: {
           const bool kv_track = e.name == TraceName::kKvEvictSwap ||
                                 e.name == TraceName::kKvEvictDrop ||

@@ -19,6 +19,8 @@ const char* TraceNameStr(TraceName n) {
     case TraceName::kReqPreempted: return "preempted";
     case TraceName::kReqSwapIn: return "swap_in_flight";
     case TraceName::kReqRecompute: return "recompute_restore";
+    case TraceName::kCopyD2H: return "copy_d2h";
+    case TraceName::kCopyH2D: return "copy_h2d";
     case TraceName::kChunk: return "chunk";
     case TraceName::kReqAdmit: return "admit";
     case TraceName::kReqFirstToken: return "first_token";
@@ -42,7 +44,7 @@ const char* TraceNameStr(TraceName n) {
 }
 
 TraceKind KindOf(TraceName n) noexcept {
-  if (n <= TraceName::kReqRecompute) return TraceKind::kSpan;
+  if (n <= TraceName::kCopyH2D) return TraceKind::kSpan;
   if (n <= TraceName::kSloRecover) return TraceKind::kInstant;
   return TraceKind::kCounter;
 }

@@ -41,6 +41,11 @@
 //     kKvEvictSwap / kKvEvictDrop        inst  req a=kv_len b=pages
 //     kKvRestoreSwap / kKvRestoreRecompute inst req a=kv_len
 //
+//   Copy streams (overlap-swap mode; "copy" track, spans may trail the last
+//   step — DMA completion is asynchronous):
+//     kCopyD2H / kCopyH2D  span  req a=kv_len b=pages
+//                          c=queue_delay_us (issue -> stream start)
+//
 //   Router (cluster track):
 //     kRouteDecision inst  req a=replica b=matched_prefix_tokens
 //
@@ -76,6 +81,9 @@ enum class TraceName : uint8_t {
   kReqPreempted,
   kReqSwapIn,
   kReqRecompute,
+  // Copy-stream spans (overlap-swap mode; one Perfetto track per engine).
+  kCopyD2H,
+  kCopyH2D,
   // Instants.
   kChunk,
   kReqAdmit,

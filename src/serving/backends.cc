@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
 #include "core/tile_heuristics.h"
 #include "kvcache/ragged.h"
@@ -204,6 +205,92 @@ gpusim::SimReport PriceSingleFormat(const gpusim::DeviceSpec& dev,
   return PlanAndPrice(dev, backend, p, cfg, in.kv_l2_fraction);
 }
 
+/// Fused-row boundary between the compute-bound ("large") and
+/// bandwidth-bound ("small") tile classes: rows at or above it fill a
+/// high-TileComputeFactor tile on their own; rows below it want the memory
+/// parallelism of small tiles.
+constexpr int64_t kPackedClassRows = 64;
+/// Cross-class contention tax: the persistent packed grid co-schedules the
+/// bandwidth-bound class with the compute-bound class, so the shorter class
+/// mostly hides behind the longer — but they share L2, scheduler slots, and
+/// the memory subsystem, so a fraction of the shorter class's time surfaces.
+constexpr double kPackedContention = 0.35;
+
+/// PackInfer-style packed-tile pricing (BackendConfig::packed_tiles).
+///
+/// The single-format path picks ONE query tile from the batch-average fused
+/// length; on heterogeneous batches that average represents nobody, and the
+/// whole launch pays the compromise. Packed mode instead:
+///   1. splits requests into a compute-bound class (fused rows >=
+///      kPackedClassRows) and a bandwidth-bound class (everything else);
+///   2. prices each class through the real scheduler at its own tile — the
+///      small class at the smallest high-occupancy tile covering its average
+///      fused length (floored at 16: a degenerate 1-row tile forfeits the
+///      MMA lanes entirely), the large class at its naturally selected big
+///      tile;
+///   3. combines the classes as one persistent launch that packs both tile
+///      shapes into the same grid: they stress different rooflines, so the
+///      shorter class hides behind the longer modulo kPackedContention, and
+///      the launch overhead is paid once.
+///
+/// The cost model prices work at request granularity, so intra-tile row
+/// sharing between requests is not modeled separately — its effect is
+/// absorbed by the per-class tile geometry (a dense-MMA surrogate would
+/// overcharge each shared tile by the full tile rows per member's KV).
+///
+/// Returns nullopt when the batch is homogeneous (either class empty): the
+/// average heuristic already fits, and the caller keeps the baseline path.
+std::optional<gpusim::SimReport> TryPricePackedTiles(const gpusim::DeviceSpec& dev,
+                                                     const BackendConfig& backend,
+                                                     const AttnSimInput& in) {
+  const int g = backend.head_fusion ? in.num_qo_heads / in.num_kv_heads : 1;
+  std::vector<int64_t> small_qo, small_kv, large_qo, large_kv;
+  int64_t small_fused = 0;
+  for (size_t i = 0; i < in.qo_lens.size(); ++i) {
+    const int64_t qo = in.qo_lens[i];
+    const int64_t fused = qo * g;
+    if (fused >= kPackedClassRows) {
+      large_qo.push_back(qo);
+      large_kv.push_back(in.kv_lens[i]);
+    } else {
+      small_qo.push_back(qo);
+      small_kv.push_back(in.kv_lens[i]);
+      small_fused += fused;
+    }
+  }
+  if (small_qo.empty() || large_qo.empty()) return std::nullopt;
+
+  const double small_avg =
+      static_cast<double>(small_fused) / static_cast<double>(small_qo.size());
+  int small_tile = 16;
+  while (small_tile < 64 && small_tile < small_avg) small_tile *= 2;
+
+  AttnSimInput flat = in;
+  flat.groups.clear();
+  const auto small_report = PriceSingleFormat(dev, backend, flat, small_qo, small_kv,
+                                              /*pos_offsets=*/{}, small_tile);
+  const auto large_report =
+      PriceSingleFormat(dev, backend, flat, large_qo, large_kv, /*pos_offsets=*/{});
+
+  gpusim::SimReport out;
+  out.num_ctas = std::max(small_report.num_ctas, large_report.num_ctas);
+  out.cta_time_us = small_report.cta_time_us;
+  out.cta_time_us.insert(out.cta_time_us.end(), large_report.cta_time_us.begin(),
+                         large_report.cta_time_us.end());
+  out.total_hbm_bytes = small_report.total_hbm_bytes + large_report.total_hbm_bytes;
+  out.total_l2_bytes = small_report.total_l2_bytes + large_report.total_l2_bytes;
+  out.total_tensor_flops =
+      small_report.total_tensor_flops + large_report.total_tensor_flops;
+  out.total_cuda_flops = small_report.total_cuda_flops + large_report.total_cuda_flops;
+  const double hi = std::max(small_report.time_us, large_report.time_us);
+  const double lo = std::min(small_report.time_us, large_report.time_us);
+  // One persistent launch: the second class's launch overhead is not paid
+  // (each sub-report charged dev.kernel_launch_us, scaled by the backend).
+  out.time_us = std::max(
+      hi, hi + lo * kPackedContention - dev.kernel_launch_us * backend.kernel_time_scale);
+  return out;
+}
+
 }  // namespace
 
 gpusim::SimReport SimulateMaskedAttention(const gpusim::DeviceSpec& dev,
@@ -238,8 +325,22 @@ gpusim::SimReport SimulateBatchAttention(const gpusim::DeviceSpec& dev,
                                          const BackendConfig& backend,
                                          const AttnSimInput& in) {
   if (!backend.composable || in.groups.empty()) {
-    return PriceSingleFormat(dev, backend, in, in.qo_lens, in.kv_lens,
-                             /*pos_offsets=*/{});
+    // Packed tiles engage only on heterogeneous batches with no bench
+    // overrides pinning the geometry; otherwise the baseline path runs
+    // bit-identically. Like a real plan() heuristic, the packed layout is
+    // priced against the single-tile layout and the cheaper one runs — on
+    // mixes where the compromise tile happens to fit, packed mode ties the
+    // baseline instead of regressing it.
+    auto report = PriceSingleFormat(dev, backend, in, in.qo_lens, in.kv_lens,
+                                    /*pos_offsets=*/{});
+    if (backend.packed_tiles && in.groups.empty() && in.tile_q_override == 0 &&
+        in.qo_lens.size() > 1) {
+      if (auto packed = TryPricePackedTiles(dev, backend, in);
+          packed.has_value() && packed->time_us < report.time_us) {
+        return *packed;
+      }
+    }
+    return report;
   }
 
   // --- Composable path (Sec. 3.1.2): both levels run as ONE persistent

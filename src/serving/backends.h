@@ -39,6 +39,18 @@ struct BackendConfig {
   bool composable = false;
   /// GQA head-group fusion (Appendix A).
   bool head_fusion = true;
+  /// PackInfer-style compute/I/O-aware tile packing for heterogeneous
+  /// batches (mixed prefill-chunk + decode/verify qo_lens). The default
+  /// heuristic picks ONE query tile from the batch-average fused length, so
+  /// a mixed batch compromises: a large tile starves decode rows of memory
+  /// parallelism, a small tile shreds prefill chunks into many low-
+  /// efficiency tiles. Packed mode splits the batch into a compute-bound
+  /// class (large fused rows, priced at their natural large tile) and a
+  /// bandwidth-bound class (small fused rows, priced at a high-occupancy
+  /// small tile), both packed into one persistent launch. Engages only when
+  /// both classes are present — homogeneous batches already match the
+  /// average heuristic. Off by default (baseline pinned by benches).
+  bool packed_tiles = false;
 };
 
 /// FlashInfer v0.2 backend (balanced scheduler, fused kernels, graphs).

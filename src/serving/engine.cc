@@ -221,6 +221,8 @@ void ServingEngine::Reset() {
   kv_tokens_in_use_ = 0;
   host_kv_tokens_in_use_ = 0;
   pending_swap_us_ = 0.0;
+  copy_d2h_.Reset();
+  copy_h2d_.Reset();
   next_preempt_order_ = 0;
   next_group_ = 0;
   rng_ = Rng(cfg_.spec.seed);
@@ -282,9 +284,24 @@ double ServingEngine::NextEventTime() const noexcept {
   // Preempted branches are runnable now: the next step's admission pass
   // restores them as soon as budget frees (and if nothing else is live, the
   // budget IS free).
-  if (!running_.empty() || !prefilling_.empty() || !preempted_.empty()) return now_s_;
-  if (!pending_.empty()) return std::max(now_s_, pending_.front().arrival_s);
-  return std::numeric_limits<double>::infinity();
+  if (!running_.empty() || !preempted_.empty()) return now_s_;
+  // Prefilling entries are runnable now — except overlap-swap transfers
+  // whose KV is still on the PCIe link (ready_s in the future).
+  double ready_min = std::numeric_limits<double>::infinity();
+  for (const auto& p : prefilling_) {
+    if (p.ready_s <= now_s_) return now_s_;
+    ready_min = std::min(ready_min, p.ready_s);
+  }
+  if (!pending_.empty()) {
+    const double arrival = pending_.front().arrival_s;
+    // An already-arrived head that is still pending is blocked on the
+    // in-flight transfers' reserve — waking "at the arrival" (now) would
+    // spin; only a future arrival or a transfer completion is an event.
+    if (arrival > now_s_ || std::isinf(ready_min)) {
+      ready_min = std::min(ready_min, std::max(now_s_, arrival));
+    }
+  }
+  return ready_min;  // +inf when fully drained.
 }
 
 int64_t ServingEngine::StepTo(double deadline_s) {
@@ -473,13 +490,27 @@ void ServingEngine::RestorePreempted() {
     pp.req.output_len = b.remaining;
     pp.req.priority = b.priority;
     if (p.swapped) {
-      // Swap-in: the PCIe transfer serializes into the next executed step,
-      // and the branch rides that step as a zero-token transfer chunk — it
-      // cannot decode while its KV is still in flight. The structural pages
-      // come back when the transfer completes.
+      // Swap-in: the branch rides a step as a zero-token transfer chunk —
+      // it cannot decode while its KV is still in flight. Legacy mode
+      // serializes the PCIe transfer into the next executed step; overlap
+      // mode enqueues it on the async H2D stream and gates the entry's step
+      // eligibility on the transfer completion time instead, so other work
+      // keeps stepping under the DMA. The structural pages come back when
+      // the transfer completes.
       host_kv_tokens_in_use_ -= b.kv_len;
       const double t_us = SwapUs(b.kv_len);
-      pending_swap_us_ += t_us;
+      if (cfg_.preemption.overlap_swap) {
+        // The host copy must fully exist before it can stream back.
+        const double issue_s = std::max(now_s_, p.swapout_done_s);
+        const auto xfer = copy_h2d_.Enqueue(issue_s, t_us);
+        pp.ready_s = xfer.end_s;
+        TraceSpan(obs::TraceName::kCopyH2D, xfer.begin_s, xfer.end_s,
+                  b.request_id, b.kv_len,
+                  (b.kv_len + cfg_.page_size - 1) / cfg_.page_size,
+                  static_cast<int64_t>((xfer.begin_s - now_s_) * 1e6));
+      } else {
+        pending_swap_us_ += t_us;
+      }
       metrics_.total_swap_ms += t_us * 1e-3;
       ++metrics_.num_swap_restores;
       if (telemetry_) {
@@ -587,7 +618,18 @@ void ServingEngine::PreemptBranch(size_t running_idx) {
   if (swap) {
     host_kv_tokens_in_use_ += b.kv_len;
     const double t_us = SwapUs(b.kv_len);
-    pending_swap_us_ += t_us;  // Swap-out serializes into the next step.
+    if (cfg_.preemption.overlap_swap) {
+      // Async D2H: the eviction itself blocks nothing — the freed budget is
+      // usable immediately (the victim's pages are a snapshot in flight),
+      // and only a later swap-in of this branch must wait for the host copy.
+      const auto xfer = copy_d2h_.Enqueue(now_s_, t_us);
+      p.swapout_done_s = xfer.end_s;
+      TraceSpan(obs::TraceName::kCopyD2H, xfer.begin_s, xfer.end_s,
+                b.request_id, b.kv_len, evicted_pages,
+                static_cast<int64_t>((xfer.begin_s - now_s_) * 1e6));
+    } else {
+      pending_swap_us_ += t_us;  // Swap-out serializes into the next step.
+    }
     metrics_.total_swap_ms += t_us * 1e-3;
     if (telemetry_) telemetry_->GetCounter("fi_swap_ms_total")->Inc(now_s_, t_us * 1e-3);
     if (spec_kv_ && b.spec_seq >= 0) spec_kv_->EvictSequence(b.spec_seq);
@@ -620,6 +662,7 @@ ServingEngine::StepPlan ServingEngine::FormStepPlan() const {
     // branches stall behind it — the head-of-line blocking mixed batching
     // removes).
     for (size_t i = 0; i < prefilling_.size(); ++i) {
+      if (prefilling_[i].ready_s > now_s_) continue;  // Transfer in flight.
       plan.chunks.push_back(
           {i, prefilling_[i].to_compute - prefilling_[i].computed, true});
     }
@@ -635,6 +678,7 @@ ServingEngine::StepPlan ServingEngine::FormStepPlan() const {
                ? std::min(cfg_.prefill_chunk_tokens, cfg_.max_prefill_tokens)
                : cfg_.max_prefill_tokens);
     for (size_t i = 0; i < prefilling_.size() && budget > 0; ++i) {
+      if (prefilling_[i].ready_s > now_s_) continue;  // Transfer in flight.
       const int64_t remaining = prefilling_[i].to_compute - prefilling_[i].computed;
       const int64_t take = std::min({remaining, cfg_.prefill_chunk_tokens, budget});
       plan.chunks.push_back({i, take, take == remaining});
@@ -656,17 +700,48 @@ ServingEngine::StepKind ServingEngine::StepOnce() {
   const StepPlan plan = FormStepPlan();
 
   if (plan.chunks.empty() && !plan.decode) {
-    // Idle: jump to the next arrival. An arrived head request can no longer
-    // strand us here: AdmitArrived rejects requests whose KV need exceeds
-    // the total budget (the old wedge this FI_CHECK used to trip on) and
-    // preempts or queues the rest, and preempted branches restore whenever
-    // the budget is free — so an empty plan means every queue but pending_
-    // is empty and the head is genuinely in the future.
-    FI_CHECK(preempted_.empty());
-    FI_CHECK(!pending_.empty());
-    FI_CHECK_GT(pending_.front().arrival_s, now_s_);
-    const double skip_s = pending_.front().arrival_s - now_s_;
-    now_s_ = pending_.front().arrival_s;
+    // Idle: jump to the next event. The wake candidates MUST mirror
+    // NextEventTime's (computed on the same post-admission state), so an
+    // idle skip never jumps past the deadline StepTo admitted us under.
+    //
+    // Overlap-swap mode can idle with in-flight H2D transfers: every
+    // prefilling entry has ready_s in the future (eligible entries would
+    // have formed chunks), and the earliest completion is a wake candidate.
+    // An already-arrived pending head is NOT one — it is blocked on the
+    // transfers' reserve, and waking "now" would spin forever.
+    double ready_min = std::numeric_limits<double>::infinity();
+    for (const auto& p : prefilling_) {
+      ready_min = std::min(ready_min, p.ready_s);
+    }
+    const bool copy_wait = !prefilling_.empty();
+    double wake_s = ready_min;
+    if (!pending_.empty() &&
+        (pending_.front().arrival_s > now_s_ || !copy_wait)) {
+      wake_s = std::min(wake_s, std::max(now_s_, pending_.front().arrival_s));
+    }
+    if (!copy_wait) {
+      // Without transfers the only idle cause is a future arrival: an
+      // arrived head can no longer strand us here — AdmitArrived rejects
+      // requests whose KV need exceeds the total budget (the old wedge this
+      // FI_CHECK used to trip on) and preempts or queues the rest, and
+      // preempted branches restore whenever the budget is free.
+      FI_CHECK(preempted_.empty());
+      FI_CHECK(!pending_.empty());
+      FI_CHECK_GT(pending_.front().arrival_s, now_s_);
+    }
+    FI_CHECK(std::isfinite(wake_s));
+    FI_CHECK_GT(wake_s, now_s_);
+    const double skip_s = wake_s - now_s_;
+    if (copy_wait && ready_min <= wake_s) {
+      // The engine is genuinely stalled on the PCIe link: nothing runnable
+      // until the earliest swap-in lands. This is the overlap-mode analogue
+      // of the legacy serialized swap stall.
+      metrics_.swap_stall_ms += skip_s * 1e3;
+      if (telemetry_) {
+        telemetry_->GetCounter("fi_swap_stall_ms_total")->Inc(now_s_, skip_s * 1e3);
+      }
+    }
+    now_s_ = wake_s;
     metrics_.total_idle_s += skip_s;
     ++metrics_.num_idle_skips;
     metrics_.makespan_s = std::max(metrics_.makespan_s, now_s_);
@@ -756,13 +831,34 @@ void ServingEngine::ExecuteStepPlan(const StepPlan& plan) {
   const double gemm_us = GemmUs(cfg_.model, step_tokens);
   const double comm_us = CommStepUs(step_tokens);
   // Swap transfers (preemption evictions/restores decided at admission)
-  // serialize into this step: conservative — a real engine overlaps DMA
-  // with compute, but the PCIe time is charged where it was incurred.
+  // serialize into this step in legacy mode: conservative — the PCIe time
+  // is charged where it was incurred and every running branch pays it.
+  // Overlap-swap mode never accumulates pending_swap_us_ (transfers ride
+  // the copy streams), so swap_us is 0 and the stall shows up only as
+  // copy-wait idle time.
   const double swap_us = pending_swap_us_;
   pending_swap_us_ = 0.0;
+  if (swap_us > 0.0) {
+    metrics_.swap_stall_ms += swap_us * 1e-3;
+    if (telemetry_) {
+      telemetry_->GetCounter("fi_swap_stall_ms_total")->Inc(now_s_, swap_us * 1e-3);
+    }
+  }
   const double step_s =
       (draft_us + host_us + gemm_us + attn_us + comm_us + swap_us) * 1e-6;
   now_s_ += step_s;
+  // Overlap accounting: copy-stream busy time inside this step's window was
+  // hidden under compute (the step would have run regardless).
+  if (cfg_.preemption.overlap_swap) {
+    const double hidden_s =
+        copy_d2h_.BusyWithin(t0_s, now_s_) + copy_h2d_.BusyWithin(t0_s, now_s_);
+    if (hidden_s > 0.0) {
+      metrics_.swap_hidden_ms += hidden_s * 1e3;
+      if (telemetry_) {
+        telemetry_->GetCounter("fi_swap_hidden_ms_total")->Inc(now_s_, hidden_s * 1e3);
+      }
+    }
+  }
 
   if (std::getenv("FI_DEBUG_ATTN") != nullptr) {
     std::fprintf(stderr,

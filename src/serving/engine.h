@@ -61,6 +61,7 @@
 #include <memory>
 #include <vector>
 
+#include "gpusim/copystream.h"
 #include "kvcache/paged.h"
 #include "obs/metrics.h"
 #include "obs/slo.h"
@@ -124,6 +125,15 @@ struct PreemptionConfig {
   /// than to swap.
   double swap_page_overhead_us = 20.0;
   RestorePolicy restore = RestorePolicy::kAuto;
+  /// Route swap traffic through per-direction async copy streams
+  /// (gpusim::CopyStream) instead of serializing each transfer into the next
+  /// executed step. A swap-out stops blocking anything; a swap-in gates only
+  /// its own branch, which re-enters once the H2D transfer completes while
+  /// other work keeps stepping — the DMA time overlaps compute and is
+  /// metered by ServingMetrics::swap_hidden_ms / SwapOverlapEfficiency().
+  /// Off by default: the legacy serialize-into-step model stays
+  /// bit-identical.
+  bool overlap_swap = false;
 };
 
 struct EngineConfig {
@@ -238,6 +248,10 @@ class ServingEngine {
   /// KV token capacity implied by the memory budget.
   int64_t KvTokenBudget() const noexcept { return kv_token_budget_; }
 
+  /// Per-direction copy streams (overlap-swap mode; idle/empty otherwise).
+  const gpusim::CopyStream& CopyD2H() const noexcept { return copy_d2h_; }
+  const gpusim::CopyStream& CopyH2D() const noexcept { return copy_h2d_; }
+
   /// Host-tier KV tokens held by swapped-out (preempted) branches.
   int64_t HostKvTokensInUse() const noexcept { return host_kv_tokens_in_use_; }
   /// Host-tier KV token capacity (0 when preemption is disabled).
@@ -311,6 +325,10 @@ class ServingEngine {
     bool swap_restore = false;  // Swap-in transfer (vs recompute).
     Branch branch;           // Valid when restore == true.
     double phase_start_s = 0.0;  // Trace: admission / restore-start time.
+    /// Overlap-swap mode: completion time of the in-flight H2D transfer.
+    /// The entry is ineligible for the step plan until now >= ready_s (its
+    /// KV is still on the PCIe link); 0 for everything else.
+    double ready_s = 0.0;
   };
 
   /// A branch evicted under KV pressure, waiting to re-enter.
@@ -320,6 +338,10 @@ class ServingEngine {
     int64_t reserve = 0;    // Device KV charge to re-acquire on restore.
     int64_t order = 0;      // FIFO tie-break within a priority level.
     double evicted_s = 0.0;  // Trace: eviction time (preempted-span begin).
+    /// Overlap-swap mode: when the D2H swap-out finishes on the copy stream.
+    /// A swap-in of this branch cannot be issued before its host copy
+    /// exists; 0 in legacy mode (the swap-out already serialized).
+    double swapout_done_s = 0.0;
   };
 
   /// One step's assembled work: which prefill chunks run and whether the
@@ -473,8 +495,12 @@ class ServingEngine {
   double now_s_ = 0.0;
   int64_t kv_tokens_in_use_ = 0;
   int64_t host_kv_tokens_in_use_ = 0;
-  /// Swap transfer time waiting to serialize into the next executed step.
+  /// Swap transfer time waiting to serialize into the next executed step
+  /// (legacy mode only; overlap-swap routes through the copy streams).
   double pending_swap_us_ = 0.0;
+  /// Async DMA engines for overlap-swap mode, one per PCIe direction.
+  gpusim::CopyStream copy_d2h_;
+  gpusim::CopyStream copy_h2d_;
   int64_t next_preempt_order_ = 0;
   int next_group_ = 0;
   Rng rng_;  // Acceptance sampling; reseeded by Reset().

@@ -86,9 +86,19 @@ struct ServingMetrics {
   int64_t evicted_pages = 0;
   /// Pages swapped back in from the host tier by restores.
   int64_t restored_pages = 0;
-  /// PCIe transfer time for swap-outs + swap-ins, milliseconds (charged into
-  /// the steps the transfers serialize with).
+  /// PCIe transfer time for swap-outs + swap-ins, milliseconds. Legacy mode
+  /// charges it into the steps the transfers serialize with; overlap-swap
+  /// mode routes it through the async copy streams instead (see
+  /// swap_hidden_ms / swap_stall_ms for where the time actually landed).
   double total_swap_ms = 0.0;
+  /// Copy-stream busy time that overlapped executed compute steps,
+  /// milliseconds (overlap-swap mode only; always <= total_swap_ms).
+  double swap_hidden_ms = 0.0;
+  /// Swap time the request path actually waited on: in legacy mode every
+  /// transfer serializes into a step (swap_stall_ms == total_swap_ms); in
+  /// overlap mode only the idle time spent waiting for an in-flight swap-in
+  /// with nothing else runnable counts.
+  double swap_stall_ms = 0.0;
   /// Context tokens re-prefilled by recompute restores (not counted in
   /// total_prefill_tokens: this is restore work, not prompt work).
   int64_t recompute_tokens = 0;
@@ -176,6 +186,12 @@ struct ServingMetrics {
   }
 
   // --- Preemption derived metrics ------------------------------------------
+  /// Fraction of swap transfer time hidden under executed compute steps
+  /// (0 when no swap traffic; 1.0 = every transferred byte overlapped).
+  double SwapOverlapEfficiency() const {
+    return total_swap_ms > 0.0 ? swap_hidden_ms / total_swap_ms : 0.0;
+  }
+
   /// TTFT percentile over requests of one priority class (p in [0,1]).
   double TtftPercentileMsForPriority(int priority, double p) const {
     // Parallel-vector invariant: every TTFT sample carries a priority tag

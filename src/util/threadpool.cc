@@ -1,5 +1,7 @@
 #include "util/threadpool.h"
 
+#include <cstdlib>
+
 namespace flashinfer {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -25,7 +27,18 @@ void ThreadPool::RunTask(TaskState& task) {
   for (;;) {
     const int64_t i = task.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= task.n) break;
-    task.fn(i);
+    // A claimed index is ALWAYS counted as done, even when the task has
+    // already failed and fn is skipped — otherwise done never reaches n and
+    // the caller's wait deadlocks.
+    if (!task.failed.load(std::memory_order_acquire)) {
+      try {
+        task.fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(task.error_mu);
+        if (!task.error) task.error = std::current_exception();
+        task.failed.store(true, std::memory_order_release);
+      }
+    }
     if (task.done.fetch_add(1, std::memory_order_acq_rel) + 1 == task.n) {
       // Last iteration: wake the caller. Locking before notify avoids a
       // missed wakeup between the caller's predicate check and its wait.
@@ -55,7 +68,10 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) 
   bool serial = workers_.empty() || n == 1;
   if (!serial) {
     std::lock_guard<std::mutex> lock(mu_);
-    if (in_parallel_) serial = true;  // Nested call: run inline.
+    // Nested call: run inline. After shutdown begins (static-destruction
+    // order at process exit) no worker will ever claim an index, so fall
+    // back to the caller's thread too.
+    if (in_parallel_ || shutdown_) serial = true;
   }
   if (serial) {
     for (int64_t i = 0; i < n; ++i) fn(i);
@@ -79,11 +95,26 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) 
     current_.reset();
     in_parallel_ = false;
   }
+  if (task->failed.load(std::memory_order_acquire)) {
+    // All claimed indices have settled (done == n), so the stored pointer is
+    // stable; rethrow the first failure on the calling thread.
+    std::lock_guard<std::mutex> lock(task->error_mu);
+    std::rethrow_exception(task->error);
+  }
 }
 
 ThreadPool& ThreadPool::Global() {
-  static ThreadPool pool;
+  static ThreadPool pool(EnvThreads());
   return pool;
+}
+
+int ThreadPool::EnvThreads() noexcept {
+  const char* env = std::getenv("FI_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v <= 0 || v > 1024) return 0;
+  return static_cast<int>(v);
 }
 
 }  // namespace flashinfer

@@ -1,6 +1,7 @@
-// A small fixed-size thread pool used to execute simulated CTAs in parallel.
+// A small fixed-size thread pool used to execute simulated CTAs in parallel
+// and to drive cluster replicas concurrently.
 //
-// The pool only provides what the executor needs: `ParallelFor` over an index
+// The pool only provides what those callers need: `ParallelFor` over an index
 // range with dynamic work stealing. Determinism of *results* never depends on
 // the pool: each index owns disjoint output state, and all simulated-cost
 // accounting is computed from the plan, not from wall-clock interleaving.
@@ -9,6 +10,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -31,11 +33,23 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n) across the pool (including the calling
   /// thread); returns when all iterations finish. Nested calls execute
-  /// serially on the caller.
+  /// serially on the caller. If any iteration throws, the remaining
+  /// unclaimed iterations are skipped (claimed ones still drain) and the
+  /// FIRST exception is rethrown on the calling thread once every claimed
+  /// index has settled — the pool stays usable afterwards.
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
 
-  /// Process-wide pool (lazily constructed).
+  /// Process-wide pool, lazily constructed on first use with EnvThreads()
+  /// workers. Destroyed after main() returns (function-local static): the
+  /// destructor signals shutdown under the lock and joins every worker, and
+  /// a ParallelFor issued during/after shutdown degrades to the serial path
+  /// instead of waking dead workers.
   static ThreadPool& Global();
+
+  /// Thread count the global pool is built with: the FI_THREADS environment
+  /// variable when set to a positive integer, otherwise 0 (= hardware
+  /// concurrency). Exposed so tests can pin the parsing contract.
+  static int EnvThreads() noexcept;
 
  private:
   // Heap-owned per-call state: workers hold a shared_ptr, so a worker that
@@ -47,6 +61,11 @@ class ThreadPool {
     std::atomic<int64_t> next{0};
     std::atomic<int64_t> done{0};
     int64_t n = 0;
+    // First exception thrown by any iteration; `failed` short-circuits the
+    // remaining claims so a poisoned task drains quickly.
+    std::atomic<bool> failed{false};
+    std::mutex error_mu;
+    std::exception_ptr error;
   };
 
   void WorkerLoop();

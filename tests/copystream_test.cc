@@ -1,0 +1,67 @@
+// CopyStream: the serialized-FIFO transfer model behind overlap-swap mode.
+#include <gtest/gtest.h>
+
+#include "gpusim/copystream.h"
+
+namespace flashinfer::gpusim {
+namespace {
+
+TEST(CopyStreamTest, EnqueueSerializesFifo) {
+  CopyStream s;
+  const auto a = s.Enqueue(0.0, 100.0);  // 100 us starting at t=0.
+  EXPECT_DOUBLE_EQ(a.begin_s, 0.0);
+  EXPECT_DOUBLE_EQ(a.end_s, 100e-6);
+  // Issued mid-flight: queues behind the first transfer.
+  const auto b = s.Enqueue(50e-6, 100.0);
+  EXPECT_DOUBLE_EQ(b.begin_s, 100e-6);
+  EXPECT_DOUBLE_EQ(b.end_s, 200e-6);
+  // Issued after the stream drained: starts at the issue time.
+  const auto c = s.Enqueue(300e-6, 50.0);
+  EXPECT_DOUBLE_EQ(c.begin_s, 300e-6);
+  EXPECT_DOUBLE_EQ(c.end_s, 350e-6);
+  EXPECT_EQ(s.num_transfers(), 3);
+  EXPECT_DOUBLE_EQ(s.total_busy_us(), 250.0);
+  EXPECT_DOUBLE_EQ(s.busy_until_s(), 350e-6);
+}
+
+TEST(CopyStreamTest, BusyWithinClipsToWindow) {
+  CopyStream s;
+  s.Enqueue(0.0, 100.0);     // [0, 100us]
+  s.Enqueue(150e-6, 100.0);  // [150us, 250us]
+  // Window covering half of each transfer.
+  EXPECT_NEAR(s.BusyWithin(50e-6, 200e-6), 100e-6, 1e-12);
+  // Window inside the idle gap.
+  EXPECT_DOUBLE_EQ(s.BusyWithin(110e-6, 140e-6), 0.0);
+  // Window past everything.
+  EXPECT_DOUBLE_EQ(s.BusyWithin(300e-6, 400e-6), 0.0);
+}
+
+TEST(CopyStreamTest, MonotoneQueriesAccumulateExactly) {
+  CopyStream s;
+  s.Enqueue(0.0, 40.0);
+  s.Enqueue(0.0, 60.0);    // Serialized: [40us, 100us]
+  s.Enqueue(180e-6, 20.0); // [180us, 200us]
+  // Step the window forward like ExecuteStepPlan does; the sum of disjoint
+  // windows must equal the total busy time despite pruning.
+  double total = 0.0;
+  double t = 0.0;
+  for (double step : {30e-6, 30e-6, 60e-6, 80e-6, 50e-6}) {
+    total += s.BusyWithin(t, t + step);
+    t += step;
+  }
+  EXPECT_NEAR(total * 1e6, s.total_busy_us(), 1e-9);
+}
+
+TEST(CopyStreamTest, ResetClearsEverything) {
+  CopyStream s;
+  s.Enqueue(0.0, 100.0);
+  s.Reset();
+  EXPECT_EQ(s.num_transfers(), 0);
+  EXPECT_DOUBLE_EQ(s.total_busy_us(), 0.0);
+  EXPECT_DOUBLE_EQ(s.busy_until_s(), 0.0);
+  const auto t = s.Enqueue(10e-6, 10.0);
+  EXPECT_DOUBLE_EQ(t.begin_s, 10e-6);
+}
+
+}  // namespace
+}  // namespace flashinfer::gpusim

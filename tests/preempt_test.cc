@@ -398,6 +398,101 @@ TEST(Preemption, RunEqualsStepToUnderPressure) {
   EXPECT_DOUBLE_EQ(st.total_swap_ms, run.total_swap_ms);
 }
 
+// --- Overlapped swap transfers (PreemptionConfig::overlap_swap) --------------
+
+// Overlap mode routes swap traffic through per-direction copy streams instead
+// of serializing it into the next step: transfer time hides behind compute
+// (swap_hidden_ms), and only genuine copy-waits surface as swap_stall_ms.
+TEST(Preemption, OverlapSwapHidesTransferTimeAndDrainsClean) {
+  Rng rng(13);
+  auto reqs = serving::UniformWorkload(rng, 40, 25.0, 512, 1024, 96);
+  serving::AssignPriorities(rng, reqs, {0.7, 0.3});
+  auto cfg = BaseConfig();
+  cfg.preemption.enabled = true;
+  cfg.preemption.restore = RestorePolicy::kSwap;
+  cfg.preemption.overlap_swap = true;
+  cfg.hbm_capacity_gb = HbmForBudget(cfg, 8000);
+  ServingEngine engine(cfg);
+  const auto m = engine.Run(reqs);
+
+  ASSERT_GT(m.num_preemptions, 0);
+  EXPECT_GT(m.total_swap_ms, 0.0);
+  // Under a busy engine, most transfer time overlaps attention.
+  EXPECT_GT(m.swap_hidden_ms, 0.0);
+  EXPECT_LE(m.swap_hidden_ms, m.total_swap_ms * (1.0 + 1e-9));
+  EXPECT_GE(m.SwapOverlapEfficiency(), 0.0);
+  EXPECT_LE(m.SwapOverlapEfficiency(), 1.0 + 1e-9);
+  // All of the two-tier accounting still closes out.
+  EXPECT_EQ(m.num_swap_restores, m.num_preemptions);
+  EXPECT_EQ(m.restored_pages, m.evicted_pages);
+  EXPECT_EQ(m.ttft_ms.size() + static_cast<size_t>(m.rejected_requests),
+            reqs.size());
+  EXPECT_EQ(engine.KvTokensInUse(), 0);
+  EXPECT_EQ(engine.HostKvTokensInUse(), 0);
+  EXPECT_EQ(engine.SpecKvLivePages(), 0);
+  EXPECT_TRUE(engine.Finished());
+}
+
+// Legacy mode stalls for every transferred byte (swap_stall == total_swap);
+// overlap mode must stall strictly less on the same pressured workload while
+// completing the same tokens.
+TEST(Preemption, OverlapSwapStallsLessThanLegacy) {
+  Rng rng(13);
+  auto reqs = serving::UniformWorkload(rng, 40, 25.0, 512, 1024, 96);
+  serving::AssignPriorities(rng, reqs, {0.7, 0.3});
+  auto cfg = BaseConfig();
+  cfg.preemption.enabled = true;
+  cfg.preemption.restore = RestorePolicy::kSwap;
+  cfg.hbm_capacity_gb = HbmForBudget(cfg, 8000);
+
+  const auto legacy = ServingEngine(cfg).Run(reqs);
+  ASSERT_GT(legacy.num_preemptions, 0);
+  EXPECT_NEAR(legacy.swap_stall_ms, legacy.total_swap_ms,
+              1e-9 * std::max(1.0, legacy.total_swap_ms));
+  EXPECT_DOUBLE_EQ(legacy.swap_hidden_ms, 0.0);
+
+  cfg.preemption.overlap_swap = true;
+  const auto overlap = ServingEngine(cfg).Run(reqs);
+  ASSERT_GT(overlap.num_preemptions, 0);
+  EXPECT_LT(overlap.swap_stall_ms, legacy.swap_stall_ms);
+  EXPECT_EQ(overlap.total_output_tokens, legacy.total_output_tokens);
+  EXPECT_LE(overlap.makespan_s, legacy.makespan_s * 1.001);
+}
+
+// Run() ≡ StepTo with overlapped transfers in flight: NextEventTime and the
+// idle-path wake logic must agree on ready-time candidates, or external
+// drivers would diverge from the internal drain loop.
+TEST(Preemption, OverlapSwapRunEqualsStepTo) {
+  Rng rng(13);
+  auto reqs = serving::UniformWorkload(rng, 40, 25.0, 512, 1024, 96);
+  serving::AssignPriorities(rng, reqs, {0.7, 0.3});
+  auto cfg = BaseConfig();
+  cfg.preemption.enabled = true;
+  cfg.preemption.restore = RestorePolicy::kSwap;
+  cfg.preemption.overlap_swap = true;
+  cfg.hbm_capacity_gb = HbmForBudget(cfg, 8000);
+
+  ServingEngine reference(cfg);
+  const auto run = reference.Run(reqs);
+  ASSERT_GT(run.num_preemptions, 0);
+
+  ServingEngine stepped(cfg);
+  stepped.Reset();
+  for (const auto& r : reqs) stepped.Admit(r);
+  while (!stepped.Finished()) {
+    stepped.StepTo(stepped.NextEventTime() + 0.02);
+  }
+  const auto& st = stepped.Metrics();
+  EXPECT_DOUBLE_EQ(st.makespan_s, run.makespan_s);
+  EXPECT_EQ(st.num_steps, run.num_steps);
+  EXPECT_EQ(st.total_output_tokens, run.total_output_tokens);
+  EXPECT_EQ(st.num_preemptions, run.num_preemptions);
+  EXPECT_EQ(st.num_swap_restores, run.num_swap_restores);
+  EXPECT_DOUBLE_EQ(st.total_swap_ms, run.total_swap_ms);
+  EXPECT_DOUBLE_EQ(st.swap_hidden_ms, run.swap_hidden_ms);
+  EXPECT_DOUBLE_EQ(st.swap_stall_ms, run.swap_stall_ms);
+}
+
 TEST(Preemption, SpecDecodeCoexistsAndDrainsClean) {
   Rng rng(17);
   auto reqs = serving::UniformWorkload(rng, 40, 40.0, 256, 768, 96);

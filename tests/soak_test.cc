@@ -116,7 +116,8 @@ EngineConfig RandomConfig(Rng& rng) {
     cfg.spec.tree.depth = static_cast<int>(rng.UniformInt(1, 3));
     cfg.spec.tree.branching = static_cast<int>(rng.UniformInt(1, 2));
   }
-  // Preemption on/off with a random restore policy and host tier.
+  // Preemption on/off with a random restore policy, host tier, and transfer
+  // model (serialized legacy swaps vs overlapped copy streams).
   if (rng.NextDouble() < 0.5) {
     cfg.preemption.enabled = true;
     const double u = rng.NextDouble();
@@ -124,6 +125,7 @@ EngineConfig RandomConfig(Rng& rng) {
                              : u < 0.67 ? RestorePolicy::kRecompute
                                         : RestorePolicy::kAuto;
     cfg.preemption.host_capacity_gb = rng.NextDouble() < 0.3 ? 0.25 : 8.0;
+    cfg.preemption.overlap_swap = rng.NextDouble() < 0.5;
   }
   // Tight vs loose KV budget.
   cfg.hbm_capacity_gb = rng.NextDouble() < 0.55
@@ -239,6 +241,20 @@ void RunEngineTrial(uint64_t seed, bool check_step_equiv) {
   // Restores must balance preemptions: nothing stays evicted.
   EXPECT_EQ(m.num_swap_restores + m.num_recompute_restores, m.num_preemptions);
   EXPECT_EQ(m.restored_pages == 0, m.num_swap_restores == 0);
+  // Swap-time decomposition. Legacy mode serializes every swap into the next
+  // step (all stall, nothing hidden); overlap mode hides transfer time behind
+  // compute, bounded by the total transfer time actually enqueued.
+  EXPECT_GE(m.swap_hidden_ms, 0.0);
+  EXPECT_GE(m.swap_stall_ms, 0.0);
+  if (cfg.preemption.overlap_swap) {
+    EXPECT_LE(m.swap_hidden_ms, m.total_swap_ms * (1.0 + 1e-9));
+    EXPECT_GE(m.SwapOverlapEfficiency(), 0.0);
+    EXPECT_LE(m.SwapOverlapEfficiency(), 1.0 + 1e-9);
+  } else {
+    EXPECT_DOUBLE_EQ(m.swap_hidden_ms, 0.0);
+    EXPECT_NEAR(m.swap_stall_ms, m.total_swap_ms,
+                1e-9 * std::max(1.0, m.total_swap_ms));
+  }
 
   // The telemetry registry must reconcile with ServingMetrics on every
   // trial: each published counter shadows a metrics field exactly, and the
@@ -270,6 +286,10 @@ void RunEngineTrial(uint64_t seed, bool check_step_equiv) {
                      static_cast<double>(m.restored_pages));
     EXPECT_NEAR(total("fi_swap_ms_total"), m.total_swap_ms,
                 1e-9 * std::max(1.0, m.total_swap_ms));
+    EXPECT_NEAR(total("fi_swap_stall_ms_total"), m.swap_stall_ms,
+                1e-9 * std::max(1.0, m.swap_stall_ms));
+    EXPECT_NEAR(total("fi_swap_hidden_ms_total"), m.swap_hidden_ms,
+                1e-9 * std::max(1.0, m.swap_hidden_ms));
     int64_t ttft_samples = 0, itl_samples = 0;
     for (const auto& [name, label_key] : reg->InstanceNames()) {
       if (name != "fi_ttft_ms" && name != "fi_itl_ms") continue;
@@ -372,6 +392,33 @@ void RunClusterTrial(uint64_t seed) {
                    static_cast<double>(m.aggregate.num_steps));
   EXPECT_DOUBLE_EQ(reg->CounterFamilyTotal("fi_preemptions_total"),
                    static_cast<double>(m.aggregate.num_preemptions));
+
+  // Threaded twin: the identical config and workload driven over a worker
+  // pool must reproduce the serial run bit-for-bit (replica state is
+  // disjoint; the router barrier is the only sync point). The whole random
+  // config space soaks through the parallel driver this way.
+  {
+    cluster::ClusterConfig tcfg2 = cfg;
+    tcfg2.step_threads = 2 + static_cast<int>(seed % 3);
+    cluster::ClusterEngine threaded(tcfg2);
+    const auto tm = threaded.Run(reqs);
+    EXPECT_DOUBLE_EQ(tm.makespan_s, m.makespan_s);
+    EXPECT_EQ(tm.aggregate.num_steps, m.aggregate.num_steps);
+    EXPECT_EQ(tm.aggregate.total_output_tokens, m.aggregate.total_output_tokens);
+    EXPECT_EQ(tm.aggregate.num_preemptions, m.aggregate.num_preemptions);
+    EXPECT_DOUBLE_EQ(tm.aggregate.total_swap_ms, m.aggregate.total_swap_ms);
+    EXPECT_DOUBLE_EQ(tm.aggregate.swap_hidden_ms, m.aggregate.swap_hidden_ms);
+    EXPECT_DOUBLE_EQ(tm.aggregate.swap_stall_ms, m.aggregate.swap_stall_ms);
+    EXPECT_EQ(tm.replica_requests, m.replica_requests);
+    ASSERT_EQ(tm.aggregate.ttft_ms.size(), m.aggregate.ttft_ms.size());
+    for (size_t i = 0; i < tm.aggregate.ttft_ms.size(); ++i) {
+      EXPECT_DOUBLE_EQ(tm.aggregate.ttft_ms[i], m.aggregate.ttft_ms[i]);
+    }
+    const obs::MetricsRegistry* treg = threaded.Telemetry();
+    ASSERT_NE(treg, nullptr);
+    EXPECT_EQ(treg->JsonSnapshot(tm.makespan_s), reg->JsonSnapshot(m.makespan_s));
+  }
+
   if (FailedPartCount() > failed_before) {
     DumpTrialTrace(cluster.LastTrace(), seed);
   }
