@@ -123,7 +123,15 @@ class JsonResult {
 /// PASS/FAIL row per key and returns overall pass. Deterministic seeded
 /// benches on a simulated device make tight tolerances safe: there is no
 /// machine noise to absorb, only real behavior changes.
-inline bool CheckBaseline(const char* baseline_path, const JsonResult& result) {
+///
+/// Wall-clock keys (any key containing "wall") are host-dependent noise:
+/// pinning one turns CI into a machine-speed lottery, and a slow runner
+/// "passes" a real regression while a fast one fails a clean build. A
+/// baseline that names such a key therefore FAILS LOUDLY unless the caller
+/// opts in with `allow_wall_keys` — only bench_parallel_scale does, whose
+/// entire subject is the harness's own wall-clock scaling.
+inline bool CheckBaseline(const char* baseline_path, const JsonResult& result,
+                          bool allow_wall_keys = false) {
   std::FILE* f = std::fopen(baseline_path, "rb");
   if (f == nullptr) {
     std::fprintf(stderr, "baseline check: cannot open %s\n", baseline_path);
@@ -146,6 +154,15 @@ inline bool CheckBaseline(const char* baseline_path, const JsonResult& result) {
   bool ok = true;
   for (const auto& [key, spec] : doc.obj) {
     if (!spec.IsObject()) continue;  // Allow top-level comment strings.
+    if (!allow_wall_keys && key.find("wall") != std::string::npos) {
+      std::printf("  %-34s FAIL baseline pins a wall-clock key — host-"
+                  "dependent, not a regression gate; remove it from the "
+                  "baseline (or gate it in bench_parallel_scale, the one "
+                  "harness whose subject is wall-clock scaling)\n",
+                  key.c_str());
+      ok = false;
+      continue;
+    }
     const double value = spec.NumberOr("value", 0.0);
     const double tol = spec.NumberOr("rel_tol", 0.05);
     const std::string dir = spec.StringOr("dir", "both");

@@ -236,7 +236,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (const char* baseline = bench::ArgValue(argc, argv, "--check")) {
-    if (!bench::CheckBaseline(baseline, json)) return 1;
+    if (!bench::CheckBaseline(baseline, json, /*allow_wall_keys=*/true)) return 1;
   }
   return 0;
 }

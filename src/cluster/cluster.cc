@@ -1,6 +1,7 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "util/check.h"
@@ -10,6 +11,71 @@ namespace flashinfer::cluster {
 using serving::Request;
 using serving::ServingEngine;
 using serving::ServingMetrics;
+
+namespace {
+
+/// Merges one replica's metrics into a running aggregate: sample vectors
+/// concatenate, counters and time totals sum, the ITL sketch merges. The
+/// caller owns makespan (max over replicas, since replicas run concurrently).
+void MergeInto(ServingMetrics& agg, const ServingMetrics& m) {
+  agg.ttft_ms.insert(agg.ttft_ms.end(), m.ttft_ms.begin(), m.ttft_ms.end());
+  agg.ttft_priority.insert(agg.ttft_priority.end(), m.ttft_priority.begin(),
+                           m.ttft_priority.end());
+  agg.itl_ms.insert(agg.itl_ms.end(), m.itl_ms.begin(), m.itl_ms.end());
+  // Bounded-ITL replicas carry their distribution in the sketch; merging
+  // it (and propagating the flag) keeps aggregate percentile queries
+  // working when the per-token vectors are empty.
+  agg.itl_sketch.MergeFrom(m.itl_sketch);
+  agg.bounded_itl = agg.bounded_itl || m.bounded_itl;
+  agg.total_output_tokens += m.total_output_tokens;
+  agg.total_attention_ms += m.total_attention_ms;
+  agg.total_gemm_ms += m.total_gemm_ms;
+  agg.total_host_ms += m.total_host_ms;
+  agg.total_comm_ms += m.total_comm_ms;
+  agg.num_steps += m.num_steps;
+  agg.total_prefill_tokens += m.total_prefill_tokens;
+  agg.cached_prefix_tokens += m.cached_prefix_tokens;
+  agg.num_idle_skips += m.num_idle_skips;
+  agg.total_idle_s += m.total_idle_s;
+  agg.mixed_steps += m.mixed_steps;
+  agg.prefill_only_steps += m.prefill_only_steps;
+  agg.decode_only_steps += m.decode_only_steps;
+  agg.prefill_chunks += m.prefill_chunks;
+  agg.chunked_requests += m.chunked_requests;
+  agg.itl_stall_steps += m.itl_stall_steps;
+  agg.steps_with_stalls += m.steps_with_stalls;
+  agg.branch_stalls.insert(agg.branch_stalls.end(), m.branch_stalls.begin(),
+                           m.branch_stalls.end());
+  agg.num_preemptions += m.num_preemptions;
+  agg.rejected_requests += m.rejected_requests;
+  agg.evicted_pages += m.evicted_pages;
+  agg.restored_pages += m.restored_pages;
+  agg.total_swap_ms += m.total_swap_ms;
+  agg.swap_hidden_ms += m.swap_hidden_ms;
+  agg.swap_stall_ms += m.swap_stall_ms;
+  agg.recompute_tokens += m.recompute_tokens;
+  agg.num_swap_restores += m.num_swap_restores;
+  agg.num_recompute_restores += m.num_recompute_restores;
+  agg.preempt_stall_steps += m.preempt_stall_steps;
+  agg.spec_steps += m.spec_steps;
+  agg.spec_committed_tokens += m.spec_committed_tokens;
+  agg.total_draft_ms += m.total_draft_ms;
+  if (agg.accepted_len_hist.size() < m.accepted_len_hist.size()) {
+    agg.accepted_len_hist.resize(m.accepted_len_hist.size(), 0);
+  }
+  for (size_t k = 0; k < m.accepted_len_hist.size(); ++k) {
+    agg.accepted_len_hist[k] += m.accepted_len_hist[k];
+  }
+  agg.num_migrations_out += m.num_migrations_out;
+  agg.num_migrations_in += m.num_migrations_in;
+  agg.num_migrations_retained += m.num_migrations_retained;
+  agg.migrated_kv_tokens += m.migrated_kv_tokens;
+  agg.total_migration_ms += m.total_migration_ms;
+  agg.migration_hidden_ms += m.migration_hidden_ms;
+  agg.migration_stall_ms += m.migration_stall_ms;
+}
+
+}  // namespace
 
 struct ClusterEngine::Replica {
   explicit Replica(const serving::EngineConfig& cfg)
@@ -24,6 +90,12 @@ struct ClusterEngine::Replica {
 ClusterEngine::ClusterEngine(ClusterConfig cfg) : cfg_(std::move(cfg)) {
   FI_CHECK_GE(cfg_.num_replicas, 1);
   FI_CHECK_GE(cfg_.step_threads, 0);
+  if (cfg_.disaggregated) {
+    // At least one replica in each pool, and a link with real bandwidth.
+    FI_CHECK_GE(cfg_.prefill_replicas, 1);
+    FI_CHECK_LT(cfg_.prefill_replicas, cfg_.num_replicas);
+    FI_CHECK_GT(cfg_.migration_gbps, 0.0);
+  }
   if (cfg_.step_threads > 1) pool_ = std::make_unique<ThreadPool>(cfg_.step_threads);
 }
 
@@ -42,13 +114,77 @@ void ClusterEngine::ForEachReplica(const std::function<void(size_t)>& fn) {
   }
 }
 
+void ClusterEngine::ProcessMigrations() {
+  const size_t prefill_n = static_cast<size_t>(cfg_.prefill_replicas);
+  const size_t decode_n = replicas_.size() - prefill_n;
+  const double kv_bytes_per_token =
+      cfg_.engine.model.KvBytesPerToken(cfg_.engine.backend.kv_dtype);
+  for (size_t src = 0; src < prefill_n; ++src) {
+    ServingEngine& se = replicas_[src]->engine;
+    if (se.MigratableUnitCount() == 0) continue;
+    for (const serving::MigrationUnit& u : se.MigratableUnits()) {
+      // Destination candidates: decode replicas that can take the unit's
+      // full reservation right now. CanAcceptMigration is the ground truth;
+      // PickByKvHeadroom then prefers the emptiest device.
+      std::vector<ReplicaView> dviews;
+      for (size_t d = prefill_n; d < replicas_.size(); ++d) {
+        const ServingEngine& de = replicas_[d]->engine;
+        if (!de.CanAcceptMigration(u)) continue;
+        ReplicaView v;
+        v.replica = static_cast<int>(d);
+        v.queued_tokens = de.QueuedTokens();
+        v.running_tokens = de.RunningTokens();
+        v.kv_tokens_in_use = de.KvTokensInUse();
+        v.kv_token_budget = de.KvTokenBudget();
+        dviews.push_back(v);
+      }
+      const int dst = dviews.empty() ? -1 : PickByKvHeadroom(dviews, u.kv_charge);
+      if (dst < 0) {
+        // No decode replica fits: the unit decodes where it prefilled.
+        se.RetainMigratable(u.unit_id);
+        ++migrations_retained_;
+        continue;
+      }
+      // Transfer priced like the swap path (latency + per-page scatter
+      // overhead + bytes over the link), issued at the unit's export time so
+      // the pair link's FIFO backlog is measured from when the KV was ready,
+      // not from when the driver got around to processing it.
+      const double t_us =
+          cfg_.migration_latency_us +
+          static_cast<double>(u.pages) * cfg_.migration_page_overhead_us +
+          static_cast<double>(u.kv_tokens) * kv_bytes_per_token /
+              (cfg_.migration_gbps * 1e3);
+      gpusim::CopyStream& link =
+          pair_streams_[src * decode_n + (static_cast<size_t>(dst) - prefill_n)];
+      const gpusim::CopyStream::Transfer xfer = link.Enqueue(u.export_s, t_us);
+      const serving::MigrationUnit m = se.ExtractMigratable(u.unit_id);
+      replicas_[static_cast<size_t>(dst)]->engine.AdmitMigratedUnit(m, xfer);
+      ++migrations_;
+    }
+  }
+}
+
 ClusterMetrics ClusterEngine::Run(const std::vector<Request>& workload) {
   // Full reset: fresh router stats and cold prefix-cache mirrors, so
   // back-to-back Run() calls on one ClusterEngine are independent.
   router_ = CreateRouter(cfg_.policy, cfg_.imbalance_cap, cfg_.imbalance_floor_tokens);
   replicas_.clear();
   for (int i = 0; i < cfg_.num_replicas; ++i) {
-    replicas_.push_back(std::make_unique<Replica>(cfg_.engine));
+    serving::EngineConfig ecfg = cfg_.engine;
+    if (cfg_.disaggregated && i < cfg_.prefill_replicas) {
+      ecfg.export_at_first_token = true;
+    }
+    replicas_.push_back(std::make_unique<Replica>(ecfg));
+  }
+  // Routing pool: all replicas in unified mode, the prefill pool in
+  // disaggregated mode (decode replicas never see raw prompts).
+  const size_t prefill_n =
+      cfg_.disaggregated ? static_cast<size_t>(cfg_.prefill_replicas) : replicas_.size();
+  migrations_ = 0;
+  migrations_retained_ = 0;
+  pair_streams_.clear();
+  if (cfg_.disaggregated) {
+    pair_streams_.resize(prefill_n * (replicas_.size() - prefill_n));
   }
 
   std::vector<Request> sorted(workload);
@@ -66,16 +202,13 @@ ClusterMetrics ClusterEngine::Run(const std::vector<Request>& workload) {
   const bool tracing = cfg_.engine.trace.enabled;
   std::vector<obs::TraceEvent> router_events;
 
-  for (const Request& r : sorted) {
-    // Advance every replica to this arrival: each executes the steps it
-    // would have started by now, so the router sees live load. The fan-out
-    // runs on the configured pool; its barrier is the router's sync point.
-    ForEachReplica(
-        [this, &r](size_t i) { replicas_[i]->engine.StepTo(r.arrival_s); });
-
+  // Routes `r` to one of the first `prefill_n` replicas, applies the
+  // prefix-cache mirror, and admits. Caller has already advanced every
+  // replica to r.arrival_s, so the views are live load.
+  auto route_and_admit = [&](const Request& r) {
     std::vector<ReplicaView> views;
-    views.reserve(replicas_.size());
-    for (size_t i = 0; i < replicas_.size(); ++i) {
+    views.reserve(prefill_n);
+    for (size_t i = 0; i < prefill_n; ++i) {
       ReplicaView v;
       v.replica = static_cast<int>(i);
       v.queued_tokens = replicas_[i]->engine.QueuedTokens();
@@ -87,7 +220,7 @@ ClusterMetrics ClusterEngine::Run(const std::vector<Request>& workload) {
     }
     const int target = router_->Route(r, views);
     FI_CHECK_GE(target, 0);
-    FI_CHECK_LT(target, static_cast<int>(replicas_.size()));
+    FI_CHECK_LT(target, static_cast<int>(prefill_n));
     Replica& rep = *replicas_[static_cast<size_t>(target)];
 
     Request routed = r;
@@ -120,9 +253,52 @@ ClusterMetrics ClusterEngine::Run(const std::vector<Request>& workload) {
     }
     rep.engine.Admit(routed);
     ++rep.requests;
-  }
+  };
 
-  ForEachReplica([this](size_t i) { replicas_[i]->engine.Drain(); });
+  if (!cfg_.disaggregated) {
+    for (const Request& r : sorted) {
+      // Advance every replica to this arrival: each executes the steps it
+      // would have started by now, so the router sees live load. The fan-out
+      // runs on the configured pool; its barrier is the router's sync point.
+      ForEachReplica(
+          [this, &r](size_t i) { replicas_[i]->engine.StepTo(r.arrival_s); });
+      route_and_admit(r);
+    }
+    ForEachReplica([this](size_t i) { replicas_[i]->engine.Drain(); });
+  } else {
+    // Disaggregated driver. The prefill pool must be stepped event-by-event:
+    // each fine step can park exportable units, and processing them while
+    // the destination clocks still trail the transfer end keeps the decode
+    // side's ready_s gating exact. The decode pool needs no fine stepping —
+    // its admissions carry absolute ready times, so batch-advancing it at
+    // arrival barriers reproduces the same step sequence. ProcessMigrations
+    // always empties the exportable pools (extract or retain), so every
+    // round makes progress and no engine is left blocked on the driver.
+    const double inf = std::numeric_limits<double>::infinity();
+    size_t k = 0;
+    while (true) {
+      const double t_arrival = k < sorted.size() ? sorted[k].arrival_s : inf;
+      while (true) {
+        ProcessMigrations();
+        double t_prefill = inf;
+        for (size_t i = 0; i < prefill_n; ++i) {
+          t_prefill = std::min(t_prefill, replicas_[i]->engine.NextEventTime());
+        }
+        if (t_prefill == inf || t_prefill > t_arrival) break;
+        ForEachReplica([this, prefill_n, t_prefill](size_t i) {
+          if (i < prefill_n) replicas_[i]->engine.StepTo(t_prefill);
+        });
+      }
+      if (k >= sorted.size()) break;
+      const double t = t_arrival;
+      ForEachReplica([this, t](size_t i) { replicas_[i]->engine.StepTo(t); });
+      route_and_admit(sorted[k]);
+      ++k;
+    }
+    // The prefill pool is fully drained (incl. retained fallbacks) by the
+    // final inner loop; this Drain finishes the decode pool's in-flight work.
+    ForEachReplica([this](size_t i) { replicas_[i]->engine.Drain(); });
+  }
 
   // --- Merged telemetry: every replica's registry under replica="i". -------
   telemetry_.reset();
@@ -155,58 +331,22 @@ ClusterMetrics ClusterEngine::Run(const std::vector<Request>& workload) {
     out.makespan_s = std::max(out.makespan_s, m.makespan_s);
     work_tokens.push_back(
         static_cast<double>(m.total_prefill_tokens + m.total_output_tokens));
-
-    auto& agg = out.aggregate;
-    agg.ttft_ms.insert(agg.ttft_ms.end(), m.ttft_ms.begin(), m.ttft_ms.end());
-    agg.ttft_priority.insert(agg.ttft_priority.end(), m.ttft_priority.begin(),
-                             m.ttft_priority.end());
-    agg.itl_ms.insert(agg.itl_ms.end(), m.itl_ms.begin(), m.itl_ms.end());
-    // Bounded-ITL replicas carry their distribution in the sketch; merging
-    // it (and propagating the flag) keeps aggregate percentile queries
-    // working when the per-token vectors are empty.
-    agg.itl_sketch.MergeFrom(m.itl_sketch);
-    agg.bounded_itl = agg.bounded_itl || m.bounded_itl;
-    agg.total_output_tokens += m.total_output_tokens;
-    agg.total_attention_ms += m.total_attention_ms;
-    agg.total_gemm_ms += m.total_gemm_ms;
-    agg.total_host_ms += m.total_host_ms;
-    agg.total_comm_ms += m.total_comm_ms;
-    agg.num_steps += m.num_steps;
-    agg.total_prefill_tokens += m.total_prefill_tokens;
-    agg.cached_prefix_tokens += m.cached_prefix_tokens;
-    agg.num_idle_skips += m.num_idle_skips;
-    agg.total_idle_s += m.total_idle_s;
-    agg.mixed_steps += m.mixed_steps;
-    agg.prefill_only_steps += m.prefill_only_steps;
-    agg.decode_only_steps += m.decode_only_steps;
-    agg.prefill_chunks += m.prefill_chunks;
-    agg.chunked_requests += m.chunked_requests;
-    agg.itl_stall_steps += m.itl_stall_steps;
-    agg.steps_with_stalls += m.steps_with_stalls;
-    agg.branch_stalls.insert(agg.branch_stalls.end(), m.branch_stalls.begin(),
-                             m.branch_stalls.end());
-    agg.num_preemptions += m.num_preemptions;
-    agg.rejected_requests += m.rejected_requests;
-    agg.evicted_pages += m.evicted_pages;
-    agg.restored_pages += m.restored_pages;
-    agg.total_swap_ms += m.total_swap_ms;
-    agg.swap_hidden_ms += m.swap_hidden_ms;
-    agg.swap_stall_ms += m.swap_stall_ms;
-    agg.recompute_tokens += m.recompute_tokens;
-    agg.num_swap_restores += m.num_swap_restores;
-    agg.num_recompute_restores += m.num_recompute_restores;
-    agg.preempt_stall_steps += m.preempt_stall_steps;
-    agg.spec_steps += m.spec_steps;
-    agg.spec_committed_tokens += m.spec_committed_tokens;
-    agg.total_draft_ms += m.total_draft_ms;
-    if (agg.accepted_len_hist.size() < m.accepted_len_hist.size()) {
-      agg.accepted_len_hist.resize(m.accepted_len_hist.size(), 0);
-    }
-    for (size_t k = 0; k < m.accepted_len_hist.size(); ++k) {
-      agg.accepted_len_hist[k] += m.accepted_len_hist[k];
-    }
+    MergeInto(out.aggregate, m);
   }
   out.aggregate.makespan_s = out.makespan_s;
+
+  if (cfg_.disaggregated) {
+    out.replica_pool.resize(replicas_.size());
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      const bool prefill = i < prefill_n;
+      out.replica_pool[i] = prefill ? 0 : 1;
+      ServingMetrics& pool = prefill ? out.prefill_pool : out.decode_pool;
+      MergeInto(pool, out.per_replica[i]);
+      pool.makespan_s = std::max(pool.makespan_s, out.per_replica[i].makespan_s);
+    }
+    out.migrations = migrations_;
+    out.migrations_retained = migrations_retained_;
+  }
 
   for (const auto& m : out.per_replica) {
     out.replica_utilization.push_back(

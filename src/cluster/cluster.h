@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "cluster/router.h"
+#include "gpusim/copystream.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "serving/engine.h"
@@ -55,8 +56,25 @@ struct ClusterConfig {
   /// hardware concurrency); N > 1 builds a dedicated pool of N threads.
   /// Replica state is disjoint and each engine owns its Rng, so seeded runs
   /// are byte-identical at every setting — the router (which runs on the
-  /// driver thread between fan-outs) is the only synchronization point.
+  /// driver thread between fan-outs, like migration processing in
+  /// disaggregated mode) is the only synchronization point.
   int step_threads = 1;
+  /// Disaggregated prefill/decode serving: the first `prefill_replicas`
+  /// replicas form the prefill pool (their engines run with
+  /// export_at_first_token), the rest the decode pool. New prompts route
+  /// over the prefill pool only; at first token each finished-prefill unit's
+  /// KV migrates to the decode replica with the most KV headroom over a
+  /// per-replica-pair link (per-pair gpusim::CopyStream, FIFO), or falls
+  /// back to the prefill replica's own decode loop when no decode replica
+  /// can take it. Off by default: the unified driver is untouched.
+  bool disaggregated = false;
+  int prefill_replicas = 1;
+  /// Inter-replica KV migration link (NVLink/RDMA-class, per replica pair).
+  double migration_gbps = 64.0;
+  double migration_latency_us = 150.0;
+  /// Per-page overhead: paged KV crosses the link as block-granular
+  /// gather/scatter copies, like the PCIe swap path.
+  double migration_page_overhead_us = 10.0;
 };
 
 /// Per-replica aggregation of ServingMetrics plus router-level signals.
@@ -77,6 +95,20 @@ struct ClusterMetrics {
   double prefix_hit_rate = 0.0;
   RouterStats router;
   double makespan_s = 0.0;
+
+  // --- Disaggregated mode (zero/empty when ClusterConfig::disaggregated is
+  // off) ---------------------------------------------------------------------
+  /// Pool of each replica: 0 = prefill, 1 = decode. Empty in unified mode.
+  std::vector<int> replica_pool;
+  /// Pool-level metric aggregates (same merge as `aggregate`, split by
+  /// pool): decode_pool's ITL distribution is the isolation headline.
+  serving::ServingMetrics prefill_pool;
+  serving::ServingMetrics decode_pool;
+  /// Units shipped prefill -> decode over the migration links.
+  int64_t migrations = 0;
+  /// Units no decode replica could take (fell back to the prefill replica's
+  /// local decode loop).
+  int64_t migrations_retained = 0;
 
   double ThroughputTokS() const {
     return makespan_s > 0.0
@@ -115,6 +147,15 @@ class ClusterEngine {
   /// the router touches any of them.
   void ForEachReplica(const std::function<void(size_t)>& fn);
 
+  /// Disaggregated mode, driver thread only (always between ForEachReplica
+  /// barriers): drains every prefill replica's exportable pool — each unit
+  /// either migrates to the decode replica with the most KV headroom (its
+  /// transfer charged to the pair link's CopyStream from the unit's export
+  /// time) or is retained on its source. Always empties the pools, so no
+  /// unit waits more than one processing round and no engine stays blocked
+  /// on the cluster.
+  void ProcessMigrations();
+
   ClusterConfig cfg_;
   std::unique_ptr<Router> router_;
   std::vector<std::unique_ptr<Replica>> replicas_;
@@ -123,6 +164,15 @@ class ClusterEngine {
   /// Dedicated pool when step_threads > 1 (step_threads == 0 borrows the
   /// global pool instead; == 1 never touches a pool).
   std::unique_ptr<ThreadPool> pool_;
+
+  // --- Disaggregated mode state (rebuilt per Run) ---------------------------
+  int64_t migrations_ = 0;
+  int64_t migrations_retained_ = 0;
+  /// One migration link per (prefill, decode) replica pair, indexed
+  /// src * decode_replicas + (dst - prefill_replicas). FIFO per pair: a
+  /// unit's transfer queues behind earlier units on the same link, and the
+  /// queueing delay is visible in the destination's ready_s gate.
+  std::vector<gpusim::CopyStream> pair_streams_;
 };
 
 }  // namespace flashinfer::cluster

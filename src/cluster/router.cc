@@ -162,4 +162,18 @@ std::unique_ptr<Router> CreateRouter(RouterPolicy policy, double imbalance_cap,
   return nullptr;
 }
 
+int PickByKvHeadroom(const std::vector<ReplicaView>& replicas, int64_t need) {
+  int best = -1;
+  int64_t best_headroom = -1;
+  for (const auto& v : replicas) {
+    const int64_t headroom = v.KvHeadroomTokens();
+    if (v.kv_token_budget > 0 && headroom < need) continue;
+    if (headroom > best_headroom) {
+      best_headroom = headroom;
+      best = v.replica;
+    }
+  }
+  return best;
+}
+
 }  // namespace flashinfer::cluster

@@ -93,4 +93,12 @@ class Router {
 std::unique_ptr<Router> CreateRouter(RouterPolicy policy, double imbalance_cap = 1.5,
                                      int64_t imbalance_floor_tokens = 2048);
 
+/// Migration-target selection for the disaggregated decode pool: the replica
+/// with the most free device KV among those with headroom for `need`, -1
+/// when none fits. Max-headroom rather than least-loaded because the decode
+/// pool's binding resource is resident KV — a migrated unit pins its whole
+/// reservation immediately, while queued-token load says little about
+/// whether the unit's pages fit.
+int PickByKvHeadroom(const std::vector<ReplicaView>& replicas, int64_t need);
+
 }  // namespace flashinfer::cluster

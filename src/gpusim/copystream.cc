@@ -16,6 +16,16 @@ CopyStream::Transfer CopyStream::Enqueue(double now_s, double duration_us) {
   return t;
 }
 
+void CopyStream::Record(const Transfer& t) {
+  auto it = std::upper_bound(
+      inflight_.begin(), inflight_.end(), t,
+      [](const Transfer& a, const Transfer& b) { return a.begin_s < b.begin_s; });
+  inflight_.insert(it, t);
+  busy_until_s_ = std::max(busy_until_s_, t.end_s);
+  ++num_transfers_;
+  total_busy_us_ += (t.end_s - t.begin_s) * 1e6;
+}
+
 double CopyStream::BusyWithin(double a_s, double b_s) {
   // Drop intervals that can never intersect a future monotone query.
   while (!inflight_.empty() && inflight_.front().end_s <= a_s) {

@@ -29,6 +29,14 @@ class CopyStream {
   /// FIFO: it starts when the stream frees up, never before `now_s`.
   Transfer Enqueue(double now_s, double duration_us);
 
+  /// Records an externally-timed interval (begin/end fixed by another stream,
+  /// e.g. an inter-replica migration link) so BusyWithin() meters it against
+  /// this stream's compute windows. Unlike Enqueue, the interval is NOT
+  /// serialized against the local busy window — intervals from independent
+  /// links may overlap, and each contributes its full overlap to BusyWithin.
+  /// Inserted in begin_s order to preserve the early-exit scan invariant.
+  void Record(const Transfer& t);
+
   /// Total stream-busy time (seconds) intersected with [a_s, b_s].
   /// Queries must be issued with non-decreasing `a_s` (step windows are
   /// monotone); fully-consumed intervals are pruned as a side effect.

@@ -71,6 +71,20 @@ std::string ArgsFor(const TraceEvent& e) {
       add("pages", static_cast<double>(e.b));
       add("queue_delay_us", static_cast<double>(e.c));
       break;
+    case TraceName::kCopyMigrate:
+      add("kv_tokens", static_cast<double>(e.a));
+      add("pages", static_cast<double>(e.b));
+      add("queue_delay_us", static_cast<double>(e.c));
+      break;
+    case TraceName::kReqMigrateIn:
+      add("kv_tokens", static_cast<double>(e.a));
+      add("branches", static_cast<double>(e.b));
+      break;
+    case TraceName::kReqMigrateOut:
+      add("kv_tokens", static_cast<double>(e.a));
+      add("pages", static_cast<double>(e.b));
+      add("branches", static_cast<double>(e.c));
+      break;
     case TraceName::kRouteDecision:
       add("replica", static_cast<double>(e.a));
       add("matched_prefix_tokens", static_cast<double>(e.b));
@@ -96,6 +110,8 @@ bool IsRequestScoped(TraceName n) {
     case TraceName::kReqPreempted:
     case TraceName::kReqSwapIn:
     case TraceName::kReqRecompute:
+    case TraceName::kReqMigrateIn:
+    case TraceName::kReqMigrateOut:
     case TraceName::kReqAdmit:
     case TraceName::kReqFirstToken:
     case TraceName::kReqFinish:
@@ -164,8 +180,9 @@ void WritePerfettoJson(std::ostream& os, const std::vector<TraceTrack>& tracks) 
         case TraceKind::kSpan: {
           // Copy-stream DMA spans get their own thread row so overlap with
           // compute steps is visible (step spans never overlap each other).
-          const bool copy_track =
-              e.name == TraceName::kCopyD2H || e.name == TraceName::kCopyH2D;
+          const bool copy_track = e.name == TraceName::kCopyD2H ||
+                                  e.name == TraceName::kCopyH2D ||
+                                  e.name == TraceName::kCopyMigrate;
           w.Emit(Common("X", e, pid, copy_track ? 2 : 0) +
                  ", \"dur\": " + JsonNum(e.dur_us) + args_obj);
           break;

@@ -39,6 +39,7 @@ std::vector<RequestBreakdown> TraceQuery::PerRequest() const {
       case TraceName::kReqPreempted: row(e.req).preempted_ms += dur_ms; break;
       case TraceName::kReqSwapIn: row(e.req).swap_ms += dur_ms; break;
       case TraceName::kReqRecompute: row(e.req).recompute_ms += dur_ms; break;
+      case TraceName::kReqMigrateIn: row(e.req).migrate_ms += dur_ms; break;
       case TraceName::kReqFinish: {
         RequestBreakdown& r = row(e.req);
         r.finish_ms = std::max(r.finish_ms, e.ts_us * 1e-3);
@@ -90,6 +91,29 @@ std::vector<TraceEvent> TraceQuery::UnexplainedPreemptStalls() const {
   return out;
 }
 
+std::vector<TraceEvent> TraceQuery::UnexplainedMigrationWaits() const {
+  std::vector<TraceEvent> copies;
+  for (const TraceEvent& e : events_) {
+    if (e.name == TraceName::kCopyMigrate) copies.push_back(e);
+  }
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.name != TraceName::kReqMigrateIn) continue;
+    bool covered = false;
+    for (const TraceEvent& c : copies) {
+      // The import wait ends when the link transfer lands; any overlap (or a
+      // transfer that completed at/before the wait began — the link was free
+      // and the wait collapsed to a step boundary) attributes it.
+      if (c.req == e.req && c.ts_us <= e.ts_us + e.dur_us + kEpsUs) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) out.push_back(e);
+  }
+  return out;
+}
+
 int64_t TraceQuery::TotalItlStallSteps() const {
   int64_t total = 0;
   for (const TraceEvent& e : events_) {
@@ -125,7 +149,7 @@ TimeSeries TraceQuery::CounterSeries(TraceName counter, double bucket_s) const {
 std::string TraceQuery::BreakdownTable(int64_t max_rows) const {
   const auto rows = PerRequest();
   std::string out =
-      "  req    queue    prefill     decode  preempted    swap-in  recompute      total (ms)\n";
+      "  req    queue    prefill     decode  preempted    swap-in  recompute    migrate      total (ms)\n";
   char line[200];
   int64_t shown = 0;
   for (const RequestBreakdown& r : rows) {
@@ -141,9 +165,9 @@ std::string TraceQuery::BreakdownTable(int64_t max_rows) const {
       continue;
     }
     std::snprintf(line, sizeof(line),
-                  "  %-4d %8.2f %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f\n", r.req,
+                  "  %-4d %8.2f %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f\n", r.req,
                   r.queued_ms, r.prefill_ms, r.decode_ms, r.preempted_ms, r.swap_ms,
-                  r.recompute_ms, r.TotalMs());
+                  r.recompute_ms, r.migrate_ms, r.TotalMs());
     out += line;
   }
   return out;

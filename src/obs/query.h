@@ -38,12 +38,14 @@ struct RequestBreakdown {
   double preempted_ms = 0.0;  // Evicted, waiting for restore capacity.
   double swap_ms = 0.0;       // Swap-in transfer in flight.
   double recompute_ms = 0.0;  // Recompute-restore context rebuild.
+  double migrate_ms = 0.0;    // Cross-replica KV migration in flight.
   double arrival_ms = 0.0;    // Queued-span begin (absolute, ms).
   double finish_ms = 0.0;     // Last finish instant (absolute, ms).
   bool rejected = false;
 
   double TotalMs() const {
-    return queued_ms + prefill_ms + decode_ms + preempted_ms + swap_ms + recompute_ms;
+    return queued_ms + prefill_ms + decode_ms + preempted_ms + swap_ms + recompute_ms +
+           migrate_ms;
   }
 };
 
@@ -66,6 +68,12 @@ class TraceQuery {
   /// covered by any request's preempted span. Empty == every preemption
   /// stall attributed to a concrete eviction.
   std::vector<TraceEvent> UnexplainedPreemptStalls() const;
+
+  /// Migrate-in spans (decode-replica import wait) not overlapped by a
+  /// same-request copy_migrate transfer span: a migration wait the trace
+  /// cannot attribute to a concrete replica-pair link transfer. Empty ==
+  /// every migration stall attributed.
+  std::vector<TraceEvent> UnexplainedMigrationWaits() const;
 
   /// Sum of stalled-branch counts over step spans (== the engine's
   /// ServingMetrics::itl_stall_steps when no events were dropped).

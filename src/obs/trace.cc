@@ -19,8 +19,10 @@ const char* TraceNameStr(TraceName n) {
     case TraceName::kReqPreempted: return "preempted";
     case TraceName::kReqSwapIn: return "swap_in_flight";
     case TraceName::kReqRecompute: return "recompute_restore";
+    case TraceName::kReqMigrateIn: return "migrate_in_flight";
     case TraceName::kCopyD2H: return "copy_d2h";
     case TraceName::kCopyH2D: return "copy_h2d";
+    case TraceName::kCopyMigrate: return "copy_migrate";
     case TraceName::kChunk: return "chunk";
     case TraceName::kReqAdmit: return "admit";
     case TraceName::kReqFirstToken: return "first_token";
@@ -30,6 +32,7 @@ const char* TraceNameStr(TraceName n) {
     case TraceName::kKvEvictDrop: return "kv_evict_drop";
     case TraceName::kKvRestoreSwap: return "kv_restore_swap";
     case TraceName::kKvRestoreRecompute: return "kv_restore_recompute";
+    case TraceName::kReqMigrateOut: return "migrate_out";
     case TraceName::kRouteDecision: return "route";
     case TraceName::kSloAlert: return "slo_alert";
     case TraceName::kSloRecover: return "slo_recover";
@@ -44,7 +47,7 @@ const char* TraceNameStr(TraceName n) {
 }
 
 TraceKind KindOf(TraceName n) noexcept {
-  if (n <= TraceName::kCopyH2D) return TraceKind::kSpan;
+  if (n <= TraceName::kCopyMigrate) return TraceKind::kSpan;
   if (n <= TraceName::kSloRecover) return TraceKind::kInstant;
   return TraceKind::kCounter;
 }

@@ -32,6 +32,8 @@
 //     kReqPreempted span   eviction -> restore start; a=kv_len b=swapped
 //     kReqSwapIn    span   swap-in transfer in flight; a=kv_len
 //     kReqRecompute span   recompute restore rebuild; a=kv_len
+//     kReqMigrateIn span   migration import in flight on the decode replica
+//                          (admit -> branches resume); a=kv_tokens b=branches
 //     kReqAdmit     inst   a=new_prompt_tokens b=kv_need
 //     kReqFirstToken inst
 //     kReqFinish    inst   per finished branch
@@ -45,6 +47,13 @@
 //   step — DMA completion is asynchronous):
 //     kCopyD2H / kCopyH2D  span  req a=kv_len b=pages
 //                          c=queue_delay_us (issue -> stream start)
+//     kCopyMigrate  span   inter-replica KV migration transfer (recorded on
+//                          the destination replica); req a=kv_tokens b=pages
+//                          c=queue_delay_us on the replica-pair link
+//
+//   Migration (disaggregated prefill/decode mode):
+//     kReqMigrateOut inst  branch extracted from the prefill replica at first
+//                          token; a=kv_tokens b=pages c=branches
 //
 //   Router (cluster track):
 //     kRouteDecision inst  req a=replica b=matched_prefix_tokens
@@ -81,9 +90,11 @@ enum class TraceName : uint8_t {
   kReqPreempted,
   kReqSwapIn,
   kReqRecompute,
+  kReqMigrateIn,
   // Copy-stream spans (overlap-swap mode; one Perfetto track per engine).
   kCopyD2H,
   kCopyH2D,
+  kCopyMigrate,
   // Instants.
   kChunk,
   kReqAdmit,
@@ -94,6 +105,7 @@ enum class TraceName : uint8_t {
   kKvEvictDrop,
   kKvRestoreSwap,
   kKvRestoreRecompute,
+  kReqMigrateOut,
   kRouteDecision,
   kSloAlert,
   kSloRecover,

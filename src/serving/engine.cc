@@ -223,6 +223,9 @@ void ServingEngine::Reset() {
   pending_swap_us_ = 0.0;
   copy_d2h_.Reset();
   copy_h2d_.Reset();
+  copy_migrate_.Reset();
+  exportable_.clear();
+  next_unit_id_ = 0;
   next_preempt_order_ = 0;
   next_group_ = 0;
   rng_ = Rng(cfg_.spec.seed);
@@ -294,11 +297,28 @@ double ServingEngine::NextEventTime() const noexcept {
   }
   if (!pending_.empty()) {
     const double arrival = pending_.front().arrival_s;
-    // An already-arrived head that is still pending is blocked on the
-    // in-flight transfers' reserve — waking "at the arrival" (now) would
-    // spin; only a future arrival or a transfer completion is an event.
-    if (arrival > now_s_ || std::isinf(ready_min)) {
-      ready_min = std::min(ready_min, std::max(now_s_, arrival));
+    if (arrival > now_s_) {
+      ready_min = std::min(ready_min, arrival);
+    } else {
+      // An already-arrived head that is still pending: admission at `now` is
+      // an event only when it would actually do something — reject the
+      // request (its need exceeds the total budget) or admit it (a run slot
+      // and KV headroom exist). This must mirror AdmitArrived exactly: the
+      // old unconditional "blocked on the transfers' reserve" assumption
+      // missed the wake where a completed step freed enough KV for the head
+      // while every prefilling entry was still transfer-gated — StepTo slept
+      // to the transfer completion while Run() admitted and worked at now,
+      // diverging the two. Conversely, returning `now` for a head that is
+      // genuinely blocked would busy-spin StepTo; then the only events are a
+      // transfer completion (ready_min) or, in disaggregated mode, the
+      // cluster driver extracting an exportable unit (external: +inf here).
+      const int64_t need = KvNeed(pending_.front());
+      const bool slot =
+          static_cast<int>(running_.size() + prefilling_.size()) < cfg_.max_running;
+      if (need > kv_token_budget_ ||
+          (slot && kv_tokens_in_use_ + need <= kv_token_budget_)) {
+        return now_s_;
+      }
     }
   }
   return ready_min;  // +inf when fully drained.
@@ -377,6 +397,185 @@ int64_t ServingEngine::KvNeed(const Request& r) const noexcept {
   const int64_t full_out =
       FullKvReserve() ? r.parallel_n * std::max<int64_t>(r.output_len, 1) : 0;
   return r.input_len + r.parallel_n * slack_tokens_ + full_out;
+}
+
+int64_t ServingEngine::UnitKvCharge(const MigrationUnit& u) const noexcept {
+  // Mirrors the charge the branches hold mid-decode: unique suffix + slack
+  // per branch (+ the remaining-output reservation on full-reserve engines),
+  // shared prefix once. Extraction releases exactly this; admission on the
+  // destination re-acquires it.
+  int64_t total = u.grouped ? u.prefix_tokens : 0;
+  for (const auto& b : u.branches) {
+    total += b.kv_len - (u.grouped ? b.prefix_len : 0) + slack_tokens_;
+    if (FullKvReserve()) total += b.remaining;
+  }
+  return total;
+}
+
+MigrationUnit ServingEngine::BuildUnitView(const Exportable& u) const {
+  MigrationUnit m;
+  m.unit_id = u.unit_id;
+  m.grouped = u.grouped;
+  m.prefix_tokens = u.prefix_tokens;
+  m.export_s = u.export_s;
+  m.kv_tokens = u.grouped ? u.prefix_tokens : 0;
+  for (const Branch& b : u.branches) {
+    MigratedBranch mb;
+    mb.request_id = b.request_id;
+    mb.prefix_len = b.prefix_len;
+    mb.kv_len = b.kv_len;
+    mb.remaining = b.remaining;
+    mb.accept_prob = b.accept_prob;
+    mb.priority = b.priority;
+    mb.tenant = b.tenant;
+    mb.arrival_s = b.arrival_s;
+    mb.last_emit_s = b.last_emit_s;
+    mb.stall_steps = b.stall_steps;
+    m.kv_tokens += b.kv_len - b.prefix_len;
+    m.branches.push_back(mb);
+  }
+  if (spec_kv_) {
+    // Real page lists via ExportKv: sibling branches share prefix pages, so
+    // the union is what crosses the wire.
+    std::vector<int64_t> pages;
+    for (const Branch& b : u.branches) {
+      const sparse::RequestKv kv = spec_kv_->ExportKv(b.spec_seq);
+      pages.insert(pages.end(), kv.pages.begin(), kv.pages.end());
+    }
+    std::sort(pages.begin(), pages.end());
+    pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+    m.pages = static_cast<int64_t>(pages.size());
+  } else {
+    m.pages = (m.kv_tokens + cfg_.page_size - 1) / cfg_.page_size;
+  }
+  m.kv_charge = UnitKvCharge(m);
+  return m;
+}
+
+std::vector<MigrationUnit> ServingEngine::MigratableUnits() const {
+  std::vector<MigrationUnit> out;
+  out.reserve(exportable_.size());
+  for (const auto& u : exportable_) out.push_back(BuildUnitView(u));
+  return out;
+}
+
+MigrationUnit ServingEngine::ExtractMigratable(int64_t unit_id) {
+  auto it = std::find_if(exportable_.begin(), exportable_.end(),
+                         [unit_id](const Exportable& u) { return u.unit_id == unit_id; });
+  FI_CHECK(it != exportable_.end());
+  MigrationUnit m = BuildUnitView(*it);
+  for (const Branch& b : it->branches) {
+    if (b.group < 0) {
+      kv_tokens_in_use_ -= b.kv_len + slack_tokens_;
+    } else {
+      kv_tokens_in_use_ -= b.kv_len - b.prefix_len + slack_tokens_;
+      auto& [refs, prefix] = group_refs_[b.group];
+      if (--refs == 0) {
+        kv_tokens_in_use_ -= prefix;
+        group_refs_.erase(b.group);
+      }
+    }
+    if (FullKvReserve()) kv_tokens_in_use_ -= b.remaining;
+    if (b.spec_seq >= 0) spec_kv_->DropSequence(b.spec_seq);
+  }
+  ++metrics_.num_migrations_out;
+  metrics_.migrated_kv_tokens += m.kv_tokens;
+  TraceInstant(obs::TraceName::kReqMigrateOut, m.branches.front().request_id,
+               m.kv_tokens, m.pages, static_cast<int64_t>(m.branches.size()));
+  if (telemetry_) {
+    telemetry_->GetCounter("fi_migrations_out_total")->Inc(now_s_);
+    telemetry_->GetCounter("fi_migrated_kv_tokens_total")
+        ->Inc(now_s_, static_cast<double>(m.kv_tokens));
+    // Extraction frees KV outside any step; without this the device-KV gauge
+    // stays stale at the pre-export value until the next executed step — on a
+    // fully-exported prefill replica, forever.
+    telemetry_->GetGauge("fi_kv_device_tokens")
+        ->Set(now_s_, static_cast<double>(kv_tokens_in_use_));
+  }
+  exportable_.erase(it);
+  return m;
+}
+
+void ServingEngine::RetainMigratable(int64_t unit_id) {
+  auto it = std::find_if(exportable_.begin(), exportable_.end(),
+                         [unit_id](const Exportable& u) { return u.unit_id == unit_id; });
+  FI_CHECK(it != exportable_.end());
+  // Fallback: the branches re-enter the local decode loop. Their KV charge
+  // and structural sequences never left, and seg_start_s still points at the
+  // first token, so the decode span absorbs the parked time.
+  for (const Branch& b : it->branches) ResumeBranch(b);
+  ++metrics_.num_migrations_retained;
+  if (telemetry_) telemetry_->GetCounter("fi_migrations_retained_total")->Inc(now_s_);
+  exportable_.erase(it);
+}
+
+bool ServingEngine::CanAcceptMigration(const MigrationUnit& u) const noexcept {
+  const int64_t slots = static_cast<int64_t>(running_.size() + prefilling_.size()) +
+                        static_cast<int64_t>(u.branches.size());
+  return slots <= cfg_.max_running &&
+         kv_tokens_in_use_ + UnitKvCharge(u) <= kv_token_budget_;
+}
+
+void ServingEngine::AdmitMigratedUnit(const MigrationUnit& u,
+                                      const gpusim::CopyStream::Transfer& xfer) {
+  FI_CHECK(!u.branches.empty());
+  FI_CHECK(CanAcceptMigration(u));
+  kv_tokens_in_use_ += UnitKvCharge(u);
+  int group = -1;
+  if (u.grouped) {
+    group = next_group_++;
+    group_refs_[group] = {static_cast<int>(u.branches.size()), u.prefix_tokens};
+  }
+  PrefillProgress pp;
+  pp.migrate = true;
+  pp.phase_start_s = now_s_;
+  // The unit rides one zero-token transfer-gated entry, exactly like an
+  // overlap-swap restore: ineligible for the step plan until the link
+  // transfer lands (which may already have, if this replica's clock ran
+  // ahead of the transfer end).
+  pp.ready_s = xfer.end_s;
+  pp.req.id = u.branches.front().request_id;
+  pp.req.arrival_s = now_s_;
+  pp.req.input_len = 0;
+  pp.to_compute = 0;
+  int64_t out = 0;
+  int priority = u.branches.front().priority;
+  for (const MigratedBranch& mb : u.branches) {
+    Branch b;
+    b.request_id = mb.request_id;
+    b.group = group;
+    b.prefix_len = u.grouped ? u.prefix_tokens : 0;
+    b.kv_len = mb.kv_len;
+    b.remaining = mb.remaining;
+    b.last_emit_s = mb.last_emit_s;
+    b.stall_steps = mb.stall_steps;
+    b.accept_prob = mb.accept_prob;
+    b.priority = mb.priority;
+    b.tenant = mb.tenant;
+    b.arrival_s = mb.arrival_s;
+    pp.import_branches.push_back(b);
+    out += mb.remaining;
+    priority = std::max(priority, mb.priority);
+  }
+  // The synthetic req carries the unit's remaining output so QueuedTokens
+  // sees the inbound backlog before the transfer lands.
+  pp.req.output_len = out;
+  pp.req.priority = priority;
+  ++metrics_.num_migrations_in;
+  metrics_.total_migration_ms += (xfer.end_s - xfer.begin_s) * 1e3;
+  copy_migrate_.Record(xfer);
+  TraceSpan(obs::TraceName::kCopyMigrate, xfer.begin_s, xfer.end_s, pp.req.id,
+            u.kv_tokens, u.pages,
+            static_cast<int64_t>((xfer.begin_s - u.export_s) * 1e6));
+  if (telemetry_) {
+    telemetry_->GetCounter("fi_migrations_in_total")->Inc(now_s_);
+    telemetry_->GetCounter("fi_migration_ms_total")
+        ->Inc(now_s_, (xfer.end_s - xfer.begin_s) * 1e3);
+    // Admission charges KV outside any step — keep the gauge current.
+    telemetry_->GetGauge("fi_kv_device_tokens")
+        ->Set(now_s_, static_cast<double>(kv_tokens_in_use_));
+  }
+  prefilling_.push_back(std::move(pp));
 }
 
 double ServingEngine::SwapUs(int64_t tokens) const {
@@ -710,10 +909,25 @@ ServingEngine::StepKind ServingEngine::StepOnce() {
     // An already-arrived pending head is NOT one — it is blocked on the
     // transfers' reserve, and waking "now" would spin forever.
     double ready_min = std::numeric_limits<double>::infinity();
+    bool migrate_wait = false;
     for (const auto& p : prefilling_) {
-      ready_min = std::min(ready_min, p.ready_s);
+      if (p.ready_s < ready_min) {
+        ready_min = p.ready_s;
+        migrate_wait = p.migrate;
+      }
     }
     const bool copy_wait = !prefilling_.empty();
+    if (!copy_wait && !exportable_.empty()) {
+      // Disaggregated mode: exportable units hold the only KV (and possibly
+      // block an arrived head or a preempted restore). No internal event can
+      // unblock this engine — the cluster driver's extract/retain will; hand
+      // control back instead of idling or tripping the checks below.
+      const bool arrived_head =
+          !pending_.empty() && pending_.front().arrival_s <= now_s_;
+      if (pending_.empty() || arrived_head || !preempted_.empty()) {
+        return StepKind::kNone;
+      }
+    }
     double wake_s = ready_min;
     if (!pending_.empty() &&
         (pending_.front().arrival_s > now_s_ || !copy_wait)) {
@@ -733,12 +947,22 @@ ServingEngine::StepKind ServingEngine::StepOnce() {
     FI_CHECK_GT(wake_s, now_s_);
     const double skip_s = wake_s - now_s_;
     if (copy_wait && ready_min <= wake_s) {
-      // The engine is genuinely stalled on the PCIe link: nothing runnable
-      // until the earliest swap-in lands. This is the overlap-mode analogue
-      // of the legacy serialized swap stall.
-      metrics_.swap_stall_ms += skip_s * 1e3;
-      if (telemetry_) {
-        telemetry_->GetCounter("fi_swap_stall_ms_total")->Inc(now_s_, skip_s * 1e3);
+      // The engine is genuinely stalled on a transfer link: nothing runnable
+      // until the earliest in-flight KV lands. Attributed to the link that
+      // gates the earliest entry — the inter-replica migration link or the
+      // PCIe swap link (the overlap-mode analogue of the legacy serialized
+      // swap stall).
+      if (migrate_wait) {
+        metrics_.migration_stall_ms += skip_s * 1e3;
+        if (telemetry_) {
+          telemetry_->GetCounter("fi_migration_stall_ms_total")
+              ->Inc(now_s_, skip_s * 1e3);
+        }
+      } else {
+        metrics_.swap_stall_ms += skip_s * 1e3;
+        if (telemetry_) {
+          telemetry_->GetCounter("fi_swap_stall_ms_total")->Inc(now_s_, skip_s * 1e3);
+        }
       }
     }
     now_s_ = wake_s;
@@ -859,6 +1083,19 @@ void ServingEngine::ExecuteStepPlan(const StepPlan& plan) {
       }
     }
   }
+  // Inbound-migration transfer time inside this step's window was hidden
+  // under compute the destination ran anyway (conservative: link time before
+  // the first post-admission step is neither hidden nor stalled here).
+  if (copy_migrate_.num_transfers() > 0) {
+    const double mig_hidden_s = copy_migrate_.BusyWithin(t0_s, now_s_);
+    if (mig_hidden_s > 0.0) {
+      metrics_.migration_hidden_ms += mig_hidden_s * 1e3;
+      if (telemetry_) {
+        telemetry_->GetCounter("fi_migration_hidden_ms_total")
+            ->Inc(now_s_, mig_hidden_s * 1e3);
+      }
+    }
+  }
 
   if (std::getenv("FI_DEBUG_ATTN") != nullptr) {
     std::fprintf(stderr,
@@ -933,7 +1170,7 @@ void ServingEngine::ExecuteStepPlan(const StepPlan& plan) {
       const auto& p = prefilling_[c.prefill_idx];
       TraceInstant(obs::TraceName::kChunk, p.req.id, c.tokens,
                    c.completes ? 1 : 0,
-                   p.restore ? (p.swap_restore ? 2 : 1) : 0);
+                   p.migrate ? 3 : p.restore ? (p.swap_restore ? 2 : 1) : 0);
     }
   }
 
@@ -968,7 +1205,39 @@ void ServingEngine::ExecuteStepPlan(const StepPlan& plan) {
     if (!c.completes) continue;
     auto& p = prefilling_[c.prefill_idx];
     FI_CHECK_EQ(p.computed, p.to_compute);
-    if (p.restore) {
+    if (p.migrate) {
+      // Inbound migration landed: materialize the unit's branches — grouped
+      // units rebuild the shared prefix once and fork it per sibling, so the
+      // destination's structural pages mirror the source's sharing — and
+      // resume them. No first-token emission: TTFT was paid on the prefill
+      // replica; last_emit_s carried over, so the migration latency surfaces
+      // as one inter-token gap on this replica's ITL distribution.
+      int prefix_seq = -1;
+      const Branch& first = p.import_branches.front();
+      if (spec_kv_ && first.group >= 0) {
+        prefix_seq = spec_kv_->CreateSequence();
+        spec_kv_->ExtendSequence(prefix_seq, first.prefix_len);
+      }
+      int64_t unit_kv = 0;
+      for (Branch b : p.import_branches) {
+        if (spec_kv_) {
+          if (prefix_seq >= 0) {
+            b.spec_seq = spec_kv_->ForkSequence(prefix_seq);
+            spec_kv_->ExtendSequence(b.spec_seq, b.kv_len - b.prefix_len);
+          } else {
+            b.spec_seq = spec_kv_->CreateSequence();
+            spec_kv_->ExtendSequence(b.spec_seq, b.kv_len);
+          }
+        }
+        b.seg_start_s = now_s_;
+        unit_kv += b.kv_len;
+        ResumeBranch(b);
+      }
+      if (prefix_seq >= 0) spec_kv_->DropSequence(prefix_seq);
+      TraceSpan(obs::TraceName::kReqMigrateIn, p.phase_start_s, now_s_,
+                p.req.id, unit_kv,
+                static_cast<int64_t>(p.import_branches.size()));
+    } else if (p.restore) {
       // Restore finished: re-materialize the structural KV — swap-ins pull
       // their pages back from the host tier, recomputes rebuild a fresh
       // sequence to the branch's context length — and put the branch back
@@ -1037,6 +1306,7 @@ void ServingEngine::CompletePrefill(const Request& r) {
   ObserveTtft(r.tenant, r.priority, (now_s_ - r.arrival_s) * 1e3);
   ++metrics_.total_output_tokens;
   metrics_.cached_prefix_tokens += CachedTokens(r);
+  const size_t running_before = running_.size();
   const int group = r.parallel_n > 1 ? next_group_++ : -1;
   if (group >= 0) group_refs_[group] = {r.parallel_n, r.input_len};
   // Spec decode: materialize the prompt KV structurally; parallel branches
@@ -1082,6 +1352,30 @@ void ServingEngine::CompletePrefill(const Request& r) {
     }
   }
   if (prefix_seq >= 0) spec_kv_->DropSequence(prefix_seq);
+  if (cfg_.export_at_first_token) {
+    // Disaggregated prefill pool: the finished prefill's branches do not
+    // decode here — they park as one exportable unit (KV charge and
+    // structural sequences intact) for the cluster driver to migrate to a
+    // decode replica. Branches with nothing left to emit already finished
+    // above and stay out of the unit.
+    Exportable u;
+    u.grouped = group >= 0;
+    u.prefix_tokens = group >= 0 ? r.input_len : 0;
+    u.export_s = now_s_;
+    size_t keep = running_before;
+    for (size_t i = running_before; i < running_.size(); ++i) {
+      if (running_[i].remaining > 0) {
+        u.branches.push_back(running_[i]);
+      } else {
+        running_[keep++] = running_[i];
+      }
+    }
+    running_.resize(keep);
+    if (!u.branches.empty()) {
+      u.unit_id = next_unit_id_++;
+      exportable_.push_back(std::move(u));
+    }
+  }
 }
 
 void ServingEngine::CommitDecode() {

@@ -160,6 +160,13 @@ struct EngineConfig {
   spec::SpecDecodeConfig spec;
   /// Priority preemption + host KV tier (off by default).
   PreemptionConfig preemption;
+  /// Disaggregated prefill/decode serving (off by default: zero behavior
+  /// change). When set, a branch that finishes prefill does NOT enter the
+  /// local decode loop: it parks in an exportable pool that a cluster driver
+  /// drains with MigratableUnits()/ExtractMigratable(), shipping its KV to a
+  /// decode-pool replica over a per-replica-pair CopyStream. The first token
+  /// (TTFT) is still paid here — migration moves the *decode* phase only.
+  bool export_at_first_token = false;
   /// Event tracing (off by default: zero events, zero behavior change — the
   /// enabled/disabled metric equivalence is pinned by tests). When enabled,
   /// the engine records request/step/KV events into a bounded ring buffer in
@@ -172,6 +179,40 @@ struct EngineConfig {
   /// every step, and evaluates telemetry.slos as burn-rate monitors whose
   /// alerts land in the trace (when tracing is also on).
   obs::TelemetryConfig telemetry;
+};
+
+/// One decode branch crossing a replica boundary in a migration unit: the
+/// scheduler state a decode-pool replica needs to resume it mid-stream.
+/// `last_emit_s` carries over, so the migration latency surfaces as exactly
+/// one inter-token gap on the destination's ITL distribution.
+struct MigratedBranch {
+  int request_id = 0;
+  int64_t prefix_len = 0;   // Shared prompt tokens (grouped units).
+  int64_t kv_len = 0;       // KV tokens to ship (incl. shared prefix).
+  int64_t remaining = 0;    // Output tokens still to emit.
+  double accept_prob = 0.0;
+  int priority = 0;
+  int tenant = -1;
+  double arrival_s = 0.0;
+  double last_emit_s = 0.0;  // First-token time on the prefill replica.
+  int64_t stall_steps = 0;
+};
+
+/// A finished-prefill request (all sibling branches of one parallel-n group)
+/// ready to migrate prefill-replica -> decode-replica. The unit is the
+/// migration granule: siblings share prefix KV pages, so they ship together
+/// and the shared prefix crosses the link once.
+struct MigrationUnit {
+  int64_t unit_id = 0;
+  std::vector<MigratedBranch> branches;
+  bool grouped = false;        // Parallel-n: branches share prefix KV.
+  int64_t prefix_tokens = 0;   // Shared prompt tokens (grouped only).
+  int64_t kv_tokens = 0;       // Unique KV tokens on the wire (prefix once).
+  int64_t pages = 0;           // KV pages on the wire (ExportKv page lists).
+  /// Device KV reservation the unit holds on its source / requires on its
+  /// destination (suffixes + slack + remaining-output reserve + prefix once).
+  int64_t kv_charge = 0;
+  double export_s = 0.0;       // When the unit became exportable (source clock).
 };
 
 class ServingEngine {
@@ -215,10 +256,12 @@ class ServingEngine {
   /// Runs until all admitted work has completed.
   void Drain();
 
-  /// True when no pending, prefilling, running, or preempted work remains.
+  /// True when no pending, prefilling, running, preempted, or exportable
+  /// work remains. Exportable units count as work: a prefill-pool replica is
+  /// not drained until the cluster driver has migrated (or retained) them.
   bool Finished() const noexcept {
     return pending_.empty() && prefilling_.empty() && running_.empty() &&
-           preempted_.empty();
+           preempted_.empty() && exportable_.empty();
   }
 
   /// Metrics accumulated since the last Reset().
@@ -268,6 +311,46 @@ class ServingEngine {
   int64_t SpecKvLivePages() const noexcept {
     return spec_kv_ ? spec_kv_->num_live_pages() : 0;
   }
+
+  // --- Disaggregated migration (export_at_first_token mode) -----------------
+  //
+  // Source-side protocol (prefill replica): the cluster driver polls
+  // MigratableUnits(), picks a destination per unit, then either
+  // ExtractMigratable() (the unit leaves this engine: KV charge and
+  // structural pages released, accounting exact) or RetainMigratable() (no
+  // decode-pool replica can take it: the unit falls back into the local
+  // decode loop, charge untouched). Destination side: CanAcceptMigration()
+  // gates on KV headroom + run slots; AdmitMigratedUnit() charges the KV and
+  // parks the unit behind a transfer-gated zero-token prefill entry that
+  // becomes runnable at the link transfer's end time, exactly like an
+  // overlap-swap restore.
+
+  /// Units parked in the exportable pool (cheap emptiness probe).
+  int64_t MigratableUnitCount() const noexcept {
+    return static_cast<int64_t>(exportable_.size());
+  }
+  /// Snapshot of every exportable unit (ids stable until extract/retain).
+  std::vector<MigrationUnit> MigratableUnits() const;
+  /// Removes the unit from this engine, releasing its device KV charge and
+  /// structural pages (page count measured through PagedKVCache::ExportKv on
+  /// the way out). The returned unit is what crosses the wire.
+  MigrationUnit ExtractMigratable(int64_t unit_id);
+  /// Fallback when no decode replica can accept the unit: its branches
+  /// re-enter the local running set (KV charge was never released).
+  void RetainMigratable(int64_t unit_id);
+  /// Whether this engine can admit the unit right now (device KV headroom
+  /// for the unit's full reservation + run slots for all its branches).
+  bool CanAcceptMigration(const MigrationUnit& u) const noexcept;
+  /// Admits a migrated unit. `xfer` is the unit's transfer on the
+  /// inter-replica link (timed by the cluster's per-pair CopyStream): the
+  /// branches resume decoding only once now >= xfer.end_s, and the transfer
+  /// interval is metered against this replica's step windows into
+  /// migration_hidden_ms (overlapped) vs migration_stall_ms (exposed).
+  void AdmitMigratedUnit(const MigrationUnit& u,
+                         const gpusim::CopyStream::Transfer& xfer);
+  /// Accounting stream holding recorded inter-replica transfer intervals
+  /// (destination side); idle/empty when no migrations were admitted.
+  const gpusim::CopyStream& CopyMigrate() const noexcept { return copy_migrate_; }
 
   // --- Tracing --------------------------------------------------------------
 
@@ -324,6 +407,12 @@ class ServingEngine {
     bool restore = false;    // Restore of a preempted branch.
     bool swap_restore = false;  // Swap-in transfer (vs recompute).
     Branch branch;           // Valid when restore == true.
+    /// Inbound migration (disaggregated mode): a whole unit rides one
+    /// zero-token transfer-gated entry; completion materializes
+    /// import_branches instead of emitting a first token (TTFT was paid on
+    /// the prefill replica).
+    bool migrate = false;
+    std::vector<Branch> import_branches;  // Valid when migrate == true.
     double phase_start_s = 0.0;  // Trace: admission / restore-start time.
     /// Overlap-swap mode: completion time of the in-flight H2D transfer.
     /// The entry is ineligible for the step plan until now >= ready_s (its
@@ -415,6 +504,11 @@ class ServingEngine {
   /// Admission KV charge for `r` under the active reservation policy.
   int64_t KvNeed(const Request& r) const noexcept;
 
+  /// Device KV charge a migration unit holds (source) or requires
+  /// (destination): per branch its unique KV + decode slack + (full-reserve
+  /// engines) the remaining-output reservation, plus the shared prefix once.
+  int64_t UnitKvCharge(const MigrationUnit& u) const noexcept;
+
   // --- Trace emission (no-ops when tracing is disabled: one branch each). ---
   void TraceSpan(obs::TraceName n, double begin_s, double end_s, int32_t req,
                  int64_t a = 0, int64_t b = 0, int64_t c = 0) noexcept;
@@ -490,6 +584,23 @@ class ServingEngine {
   std::vector<Branch> running_;
   /// Evicted branches awaiting restore, sorted by (priority desc, order).
   std::deque<Preempted> preempted_;
+  /// Finished-prefill units parked for migration (export_at_first_token
+  /// mode). Branches here keep their KV charge and structural sequences
+  /// alive — extraction releases both exactly; retention re-runs them.
+  struct Exportable {
+    int64_t unit_id = 0;
+    std::vector<Branch> branches;
+    bool grouped = false;
+    int64_t prefix_tokens = 0;
+    double export_s = 0.0;
+  };
+  std::deque<Exportable> exportable_;
+  int64_t next_unit_id_ = 0;
+  /// Wire-format snapshot of one exportable unit: unique KV tokens (shared
+  /// prefix once) and the page count measured through ExportKv's real page
+  /// lists when the structural cache exists (page-rounded arithmetic
+  /// otherwise).
+  MigrationUnit BuildUnitView(const Exportable& u) const;
   std::map<int, std::pair<int, int64_t>> group_refs_;
   ServingMetrics metrics_;
   double now_s_ = 0.0;
@@ -501,6 +612,10 @@ class ServingEngine {
   /// Async DMA engines for overlap-swap mode, one per PCIe direction.
   gpusim::CopyStream copy_d2h_;
   gpusim::CopyStream copy_h2d_;
+  /// Inbound-migration accounting stream: externally-timed inter-replica
+  /// transfer intervals recorded at AdmitMigratedUnit, metered against step
+  /// windows for migration_hidden_ms. Empty outside disaggregated runs.
+  gpusim::CopyStream copy_migrate_;
   int64_t next_preempt_order_ = 0;
   int next_group_ = 0;
   Rng rng_;  // Acceptance sampling; reseeded by Reset().

@@ -111,6 +111,28 @@ struct ServingMetrics {
   /// split latency tails by priority class under KV pressure.
   std::vector<int> ttft_priority;
 
+  // --- Disaggregated prefill/decode migration (populated on engines that
+  // export at first token / import migrated branches). ---------------------
+  /// Migration units extracted from this (prefill) replica at first token.
+  int64_t num_migrations_out = 0;
+  /// Migration units admitted on this (decode) replica.
+  int64_t num_migrations_in = 0;
+  /// Units the cluster offered back after a decode-pool rejection — the
+  /// prefill replica kept the branches and decodes them locally.
+  int64_t num_migrations_retained = 0;
+  /// KV tokens shipped out of this replica (unique tokens; shared prefixes
+  /// counted once).
+  int64_t migrated_kv_tokens = 0;
+  /// Inter-replica link transfer time for migrations landing on this
+  /// replica, milliseconds (charged on the importing side).
+  double total_migration_ms = 0.0;
+  /// Migration transfer time that overlapped executed compute steps on the
+  /// importing replica, milliseconds (always <= total_migration_ms).
+  double migration_hidden_ms = 0.0;
+  /// Idle time the importing replica spent waiting on an in-flight
+  /// migration with nothing else runnable, milliseconds.
+  double migration_stall_ms = 0.0;
+
   // --- Speculative decoding (populated when spec decode is enabled). -------
   /// Verify steps executed (each replaces one vanilla decode step).
   int64_t spec_steps = 0;
@@ -190,6 +212,12 @@ struct ServingMetrics {
   /// (0 when no swap traffic; 1.0 = every transferred byte overlapped).
   double SwapOverlapEfficiency() const {
     return total_swap_ms > 0.0 ? swap_hidden_ms / total_swap_ms : 0.0;
+  }
+
+  /// Fraction of migration transfer time hidden under executed compute steps
+  /// on the importing replica (0 when no migration traffic).
+  double MigrationOverlapEfficiency() const {
+    return total_migration_ms > 0.0 ? migration_hidden_ms / total_migration_ms : 0.0;
   }
 
   /// TTFT percentile over requests of one priority class (p in [0,1]).

@@ -1,0 +1,533 @@
+// Disaggregated prefill/decode serving tests: engine-side export/import
+// exactness (KV charges and structural pages balance to zero across a
+// migration), the NextEventTime/StepTo idle-wake contract when all pending
+// work is transfer-gated, retain-fallback equivalence to the unified engine,
+// and the cluster driver's pool routing, rejection fallback, and
+// determinism (serial twin == threaded twin, run-to-run identical).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "cluster/cluster.h"
+#include "serving/engine.h"
+
+namespace flashinfer {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::ClusterEngine;
+using cluster::ClusterMetrics;
+using gpusim::CopyStream;
+using serving::EngineConfig;
+using serving::MigrationUnit;
+using serving::Request;
+using serving::ServingEngine;
+using serving::ServingMetrics;
+
+EngineConfig BaseConfig() {
+  EngineConfig cfg;
+  cfg.model = serving::Llama31_8B();
+  cfg.device = gpusim::H100Sxm80GB();
+  cfg.backend = serving::FlashInferBackend();
+  return cfg;
+}
+
+double HbmForBudget(const EngineConfig& cfg, int64_t budget_tokens) {
+  const double kv_bytes = static_cast<double>(budget_tokens) *
+                          cfg.model.KvBytesPerToken(cfg.backend.kv_dtype) / 0.9;
+  return (cfg.model.WeightBytesPerGpu() + kv_bytes) / 1e9;
+}
+
+/// Steps an export-mode engine until at least one unit parks in the
+/// exportable pool (or it runs out of internal events).
+void StepUntilExportable(ServingEngine& e) {
+  while (e.MigratableUnitCount() == 0 && std::isfinite(e.NextEventTime())) {
+    e.StepTo(e.NextEventTime());
+  }
+}
+
+// A vanilla (no spec, no preemption) export engine: the unit carries the
+// prompt + first token, its extraction zeroes the source's KV charge, and
+// the destination decodes exactly the remaining tokens.
+TEST(DisaggEngine, VanillaExportExtractImportExact) {
+  EngineConfig scfg = BaseConfig();
+  scfg.export_at_first_token = true;
+  ServingEngine src(scfg);
+  src.Reset();
+  Request r;
+  r.id = 7;
+  r.arrival_s = 0.0;
+  r.input_len = 512;
+  r.output_len = 32;
+  src.Admit(r);
+  StepUntilExportable(src);
+  ASSERT_EQ(src.MigratableUnitCount(), 1);
+  EXPECT_FALSE(src.Finished());  // The parked unit keeps the engine alive.
+
+  const auto units = src.MigratableUnits();
+  ASSERT_EQ(units.size(), 1u);
+  const MigrationUnit& u = units[0];
+  EXPECT_FALSE(u.grouped);
+  ASSERT_EQ(u.branches.size(), 1u);
+  EXPECT_EQ(u.branches[0].request_id, 7);
+  EXPECT_EQ(u.branches[0].kv_len, 513);     // Prompt + the first token.
+  EXPECT_EQ(u.branches[0].remaining, 31);   // Decode phase ships out.
+  EXPECT_EQ(u.kv_tokens, 513);
+  // No structural cache on a vanilla engine: page count is arithmetic.
+  EXPECT_EQ(u.pages, (513 + scfg.page_size - 1) / scfg.page_size);
+  EXPECT_GT(u.export_s, 0.0);
+
+  // TTFT was paid on the prefill replica; only the first token was emitted.
+  EXPECT_EQ(src.Metrics().ttft_ms.size(), 1u);
+  EXPECT_EQ(src.Metrics().total_output_tokens, 1);
+
+  const MigrationUnit m = src.ExtractMigratable(u.unit_id);
+  EXPECT_EQ(src.KvTokensInUse(), 0);  // Charge released exactly.
+  EXPECT_TRUE(src.Finished());
+  EXPECT_EQ(src.Metrics().num_migrations_out, 1);
+  EXPECT_EQ(src.Metrics().migrated_kv_tokens, 513);
+
+  EngineConfig dcfg = BaseConfig();
+  ServingEngine dst(dcfg);
+  dst.Reset();
+  CopyStream::Transfer xfer;
+  xfer.begin_s = m.export_s;
+  xfer.end_s = m.export_s + 0.002;
+  ASSERT_TRUE(dst.CanAcceptMigration(m));
+  dst.AdmitMigratedUnit(m, xfer);
+  // Idle-wake contract: with only the in-flight import, the next event is
+  // the transfer completion — never "now" (that would busy-spin StepTo).
+  EXPECT_DOUBLE_EQ(dst.NextEventTime(), xfer.end_s);
+  EXPECT_EQ(dst.StepTo(xfer.end_s - 1e-6), 0);
+  dst.Drain();
+  EXPECT_TRUE(dst.Finished());
+  const ServingMetrics& dm = dst.Metrics();
+  EXPECT_EQ(dm.total_output_tokens, 31);
+  EXPECT_EQ(dm.ttft_ms.size(), 0u);  // No second first-token.
+  EXPECT_EQ(static_cast<int64_t>(dm.itl_ms.size()), 31);
+  EXPECT_EQ(dst.KvTokensInUse(), 0);
+  EXPECT_EQ(dm.num_migrations_in, 1);
+  EXPECT_NEAR(dm.total_migration_ms, 2.0, 1e-9);
+  EXPECT_LE(dm.migration_hidden_ms, dm.total_migration_ms + 1e-9);
+  EXPECT_GE(dm.migration_stall_ms, 0.0);
+}
+
+// Satellite bugfix regression: NextEventTime when every in-flight entry is
+// transfer-gated. An arrived admissible head must wake the engine NOW (the
+// missed-wake half); an arrived head blocked on the in-flight unit's
+// reserve must NOT return now (the busy-spin half) — the wake is the
+// transfer completion.
+TEST(DisaggEngine, NextEventTimeTransferGatedIdleWake) {
+  // Produce a real unit to import.
+  EngineConfig scfg = BaseConfig();
+  scfg.export_at_first_token = true;
+  ServingEngine src(scfg);
+  src.Reset();
+  Request big;
+  big.id = 0;
+  big.arrival_s = 0.0;
+  big.input_len = 1024;
+  big.output_len = 64;
+  src.Admit(big);
+  StepUntilExportable(src);
+  ASSERT_EQ(src.MigratableUnitCount(), 1);
+  const MigrationUnit m = src.ExtractMigratable(src.MigratableUnits()[0].unit_id);
+
+  // Destination with a budget that fits the import plus a small request but
+  // not the import plus a big one.
+  EngineConfig dcfg = BaseConfig();
+  const int64_t budget = m.kv_charge + 300;
+  dcfg.hbm_capacity_gb = HbmForBudget(dcfg, budget);
+  ServingEngine dst(dcfg);
+  dst.Reset();
+  ASSERT_GE(dst.KvTokenBudget(), m.kv_charge);
+  CopyStream::Transfer xfer;
+  xfer.begin_s = 4.9;
+  xfer.end_s = 5.0;  // Far-future landing: the engine idles until then.
+  dst.AdmitMigratedUnit(m, xfer);
+  EXPECT_DOUBLE_EQ(dst.NextEventTime(), 5.0);
+
+  // Missed-wake half: a small arrived request fits beside the in-flight
+  // reserve, so the engine must report work at its arrival, not sleep to
+  // the transfer.
+  Request small;
+  small.id = 1;
+  small.arrival_s = 0.5;
+  small.input_len = 64;
+  small.output_len = 4;
+  dst.Admit(small);
+  EXPECT_DOUBLE_EQ(dst.NextEventTime(), 0.5);
+  EXPECT_GE(dst.StepTo(0.5), 1);  // Admission + prefill start immediately.
+
+  dst.Drain();
+  EXPECT_TRUE(dst.Finished());
+  EXPECT_EQ(dst.KvTokensInUse(), 0);
+  EXPECT_EQ(dst.Metrics().total_output_tokens, /*import*/ 63 + /*small*/ 4);
+
+  // Busy-spin half: a big arrived head that cannot fit beside the in-flight
+  // reserve must NOT wake the engine now (StepTo would spin) — the only
+  // wake is the transfer completion, and stepping short of it does nothing.
+  ServingEngine dst2(dcfg);
+  dst2.Reset();
+  dst2.AdmitMigratedUnit(m, xfer);
+  Request blocked;
+  blocked.id = 2;
+  blocked.arrival_s = 1.0;
+  blocked.input_len = 512;  // Need 520 > the 300 tokens of free headroom.
+  blocked.output_len = 8;
+  dst2.Admit(blocked);
+  dst2.StepTo(2.0);  // Past the arrival: the head is arrived but blocked.
+  EXPECT_DOUBLE_EQ(dst2.NextEventTime(), 5.0);
+  EXPECT_EQ(dst2.StepTo(4.5), 0);
+  dst2.Drain();
+  EXPECT_TRUE(dst2.Finished());
+  EXPECT_EQ(dst2.KvTokensInUse(), 0);
+  EXPECT_EQ(dst2.Metrics().total_output_tokens, /*import*/ 63 + /*blocked*/ 8);
+}
+
+// Parallel-n fork mid-migration: the group ships as one unit, the shared
+// prefix crosses the wire once, and structural pages on both sides balance
+// to zero. Spec-KV engines measure pages through real ExportKv page lists.
+TEST(DisaggEngine, GroupedUnitSharesPrefixOnceAndBalances) {
+  EngineConfig scfg = BaseConfig();
+  scfg.export_at_first_token = true;
+  scfg.preemption.enabled = true;  // Structural spec_kv on: real page lists.
+  ServingEngine src(scfg);
+  src.Reset();
+  Request r;
+  r.id = 3;
+  r.arrival_s = 0.0;
+  r.input_len = 256;
+  r.output_len = 8;
+  r.parallel_n = 3;
+  src.Admit(r);
+  StepUntilExportable(src);
+  ASSERT_EQ(src.MigratableUnitCount(), 1);
+  const auto units = src.MigratableUnits();
+  const MigrationUnit& u = units[0];
+  EXPECT_TRUE(u.grouped);
+  ASSERT_EQ(u.branches.size(), 3u);
+  EXPECT_EQ(u.prefix_tokens, 256);
+  for (const auto& b : u.branches) {
+    EXPECT_EQ(b.prefix_len, 256);
+    EXPECT_EQ(b.kv_len, 257);  // Prefix + own first token.
+    EXPECT_EQ(b.remaining, 7);
+  }
+  // Unique wire tokens: prefix once + one suffix token per branch.
+  EXPECT_EQ(u.kv_tokens, 256 + 3);
+  // Real page union: 16 shared prefix pages + 1 forked page per branch.
+  EXPECT_EQ(u.pages, 256 / scfg.page_size + 3);
+
+  const MigrationUnit m = src.ExtractMigratable(u.unit_id);
+  EXPECT_EQ(src.KvTokensInUse(), 0);
+  EXPECT_EQ(src.SpecKvLivePages(), 0);  // Fork refcounts fully unwound.
+  EXPECT_TRUE(src.Finished());
+
+  EngineConfig dcfg = BaseConfig();
+  dcfg.preemption.enabled = true;
+  ServingEngine dst(dcfg);
+  dst.Reset();
+  CopyStream::Transfer xfer;
+  xfer.begin_s = m.export_s;
+  xfer.end_s = m.export_s + 0.001;
+  dst.AdmitMigratedUnit(m, xfer);
+  dst.Drain();
+  EXPECT_TRUE(dst.Finished());
+  EXPECT_EQ(dst.Metrics().total_output_tokens, 3 * 7);
+  EXPECT_EQ(dst.KvTokensInUse(), 0);
+  EXPECT_EQ(dst.SpecKvLivePages(), 0);
+  EXPECT_EQ(dst.HostKvTokensInUse(), 0);
+}
+
+// Spec-decode branches migrate mid-stream: draft trees are per-step state
+// (nothing in-flight parks with the unit), so a spec source exports cleanly
+// and a spec destination resumes the branches through its own draft/verify
+// loop with exact rollback accounting.
+TEST(DisaggEngine, SpecBranchesMigrateAndDrainClean) {
+  EngineConfig scfg = BaseConfig();
+  scfg.export_at_first_token = true;
+  scfg.spec.enabled = true;
+  ServingEngine src(scfg);
+  src.Reset();
+  Request r;
+  r.id = 11;
+  r.arrival_s = 0.0;
+  r.input_len = 300;
+  r.output_len = 24;
+  r.accept_prob = 0.8;
+  src.Admit(r);
+  StepUntilExportable(src);
+  ASSERT_EQ(src.MigratableUnitCount(), 1);
+  const MigrationUnit m = src.ExtractMigratable(src.MigratableUnits()[0].unit_id);
+  EXPECT_EQ(src.KvTokensInUse(), 0);
+  EXPECT_EQ(src.SpecKvLivePages(), 0);
+  EXPECT_TRUE(src.Finished());
+
+  EngineConfig dcfg = BaseConfig();
+  dcfg.spec.enabled = true;
+  ServingEngine dst(dcfg);
+  dst.Reset();
+  CopyStream::Transfer xfer;
+  xfer.begin_s = m.export_s;
+  xfer.end_s = m.export_s + 0.001;
+  dst.AdmitMigratedUnit(m, xfer);
+  dst.Drain();
+  EXPECT_TRUE(dst.Finished());
+  EXPECT_EQ(dst.Metrics().total_output_tokens, 23);
+  EXPECT_GT(dst.Metrics().spec_steps, 0);  // Resumed through draft/verify.
+  EXPECT_EQ(dst.KvTokensInUse(), 0);
+  EXPECT_EQ(dst.SpecKvLivePages(), 0);
+}
+
+// Migrate-then-preempt: a migrated branch on a preemption-enabled decode
+// replica is evictable like any local branch, and the evict/restore cycle
+// keeps both KV tiers exact.
+TEST(DisaggEngine, MigratedBranchSurvivesPreemption) {
+  EngineConfig scfg = BaseConfig();
+  scfg.export_at_first_token = true;
+  scfg.preemption.enabled = true;
+  ServingEngine src(scfg);
+  src.Reset();
+  Request r;
+  r.id = 0;
+  r.arrival_s = 0.0;
+  r.input_len = 1024;
+  r.output_len = 64;
+  r.priority = 0;
+  src.Admit(r);
+  StepUntilExportable(src);
+  ASSERT_EQ(src.MigratableUnitCount(), 1);
+  const MigrationUnit m = src.ExtractMigratable(src.MigratableUnits()[0].unit_id);
+
+  EngineConfig dcfg = BaseConfig();
+  dcfg.preemption.enabled = true;
+  // Budget fits the migrated unit, but not the unit plus the VIP request:
+  // admission must preempt the (lower-priority) migrated branch.
+  dcfg.hbm_capacity_gb = HbmForBudget(dcfg, m.kv_charge + 300);
+  ServingEngine dst(dcfg);
+  dst.Reset();
+  ASSERT_TRUE(dst.CanAcceptMigration(m));
+  CopyStream::Transfer xfer;
+  xfer.begin_s = m.export_s;
+  xfer.end_s = m.export_s + 0.001;
+  dst.AdmitMigratedUnit(m, xfer);
+  // Let the import land and decode a few tokens first.
+  dst.StepTo(xfer.end_s + 0.05);
+  EXPECT_GT(dst.Metrics().total_output_tokens, 0);
+
+  Request vip;
+  vip.id = 1;
+  vip.arrival_s = xfer.end_s + 0.05;
+  vip.input_len = 256;
+  vip.output_len = 256;
+  vip.priority = 5;
+  dst.Admit(vip);
+  dst.Drain();
+  EXPECT_TRUE(dst.Finished());
+  const ServingMetrics& dm = dst.Metrics();
+  EXPECT_GT(dm.num_preemptions, 0);  // The migrated branch was evicted.
+  EXPECT_EQ(dm.num_swap_restores + dm.num_recompute_restores, dm.num_preemptions);
+  EXPECT_EQ(dm.total_output_tokens, 63 + 256);
+  EXPECT_EQ(dst.KvTokensInUse(), 0);
+  EXPECT_EQ(dst.HostKvTokensInUse(), 0);
+  EXPECT_EQ(dst.SpecKvLivePages(), 0);
+}
+
+// Retain fallback ≡ unified: when every unit is retained at the step
+// boundary it parked on (the cluster driver's cadence), the export-mode
+// engine reproduces the vanilla engine token-for-token — parking is pure
+// bookkeeping until someone actually extracts.
+TEST(DisaggEngine, RetainAllMatchesUnifiedEngine) {
+  Rng rng(91);
+  const auto workload = serving::ShareGptWorkload(rng, 40, 25.0);
+
+  ServingEngine vanilla(BaseConfig());
+  const ServingMetrics vm = vanilla.Run(workload);
+
+  EngineConfig ecfg = BaseConfig();
+  ecfg.export_at_first_token = true;
+  ServingEngine e(ecfg);
+  e.Reset();
+  for (const auto& r : workload) e.Admit(r);
+  for (int64_t guard = 0; guard < 500000 && !e.Finished(); ++guard) {
+    while (e.MigratableUnitCount() > 0) {
+      e.RetainMigratable(e.MigratableUnits().front().unit_id);
+    }
+    const double next = e.NextEventTime();
+    if (!std::isfinite(next)) break;
+    e.StepTo(next);
+  }
+  ASSERT_TRUE(e.Finished());
+  const ServingMetrics& em = e.Metrics();
+  EXPECT_DOUBLE_EQ(em.makespan_s, vm.makespan_s);
+  EXPECT_EQ(em.num_steps, vm.num_steps);
+  EXPECT_EQ(em.total_output_tokens, vm.total_output_tokens);
+  ASSERT_EQ(em.ttft_ms.size(), vm.ttft_ms.size());
+  for (size_t i = 0; i < em.ttft_ms.size(); ++i) {
+    EXPECT_DOUBLE_EQ(em.ttft_ms[i], vm.ttft_ms[i]) << "ttft " << i;
+  }
+  ASSERT_EQ(em.itl_ms.size(), vm.itl_ms.size());
+  for (size_t i = 0; i < em.itl_ms.size(); ++i) {
+    EXPECT_DOUBLE_EQ(em.itl_ms[i], vm.itl_ms[i]) << "itl " << i;
+  }
+  EXPECT_EQ(em.num_migrations_retained,
+            static_cast<int64_t>(workload.size()));
+  EXPECT_EQ(e.KvTokensInUse(), 0);
+}
+
+ClusterConfig DisaggConfig() {
+  ClusterConfig cfg;
+  cfg.engine = BaseConfig();
+  cfg.num_replicas = 4;
+  cfg.disaggregated = true;
+  cfg.prefill_replicas = 2;
+  cfg.policy = cluster::RouterPolicy::kLeastLoaded;
+  return cfg;
+}
+
+std::vector<Request> DisaggWorkload(uint64_t seed, int n = 60) {
+  Rng rng(seed);
+  serving::BurstyPrefillConfig w;
+  w.num_steady = n;
+  w.steady_rate = 40.0;
+  w.steady_output = 96;
+  w.num_bursts = 3;
+  w.burst_size = 3;
+  w.burst_input_lo = 3000;
+  w.burst_input_hi = 6000;
+  w.burst_output = 48;
+  return serving::BurstyLongPrefillWorkload(rng, w);
+}
+
+// End-to-end disaggregated cluster: prompts route to the prefill pool only,
+// units migrate to the decode pool, conservation holds across pools, and
+// both pools drain clean.
+TEST(DisaggCluster, MigratesCompletesAndAccountsExactly) {
+  const auto workload = DisaggWorkload(17);
+  const ClusterConfig cfg = DisaggConfig();
+  const ClusterMetrics m = ClusterEngine(cfg).Run(workload);
+
+  // Pool labeling.
+  ASSERT_EQ(m.replica_pool.size(), 4u);
+  EXPECT_EQ(m.replica_pool[0], 0);
+  EXPECT_EQ(m.replica_pool[1], 0);
+  EXPECT_EQ(m.replica_pool[2], 1);
+  EXPECT_EQ(m.replica_pool[3], 1);
+  // Prompts only ever land on the prefill pool.
+  EXPECT_EQ(m.replica_requests[2], 0);
+  EXPECT_EQ(m.replica_requests[3], 0);
+
+  EXPECT_GT(m.migrations, 0);
+  // Every extraction was admitted somewhere; retained units stayed local.
+  EXPECT_EQ(m.prefill_pool.num_migrations_out, m.migrations);
+  EXPECT_EQ(m.decode_pool.num_migrations_in, m.migrations);
+  EXPECT_EQ(m.prefill_pool.num_migrations_retained, m.migrations_retained);
+  EXPECT_EQ(m.aggregate.num_migrations_out, m.aggregate.num_migrations_in);
+
+  // Conservation: every request completed exactly once, TTFT on the prefill
+  // pool, and total output tokens match the workload.
+  EXPECT_EQ(m.aggregate.ttft_ms.size() +
+                static_cast<size_t>(m.aggregate.rejected_requests),
+            workload.size());
+  EXPECT_EQ(m.prefill_pool.ttft_ms.size(), m.aggregate.ttft_ms.size());
+  EXPECT_EQ(m.decode_pool.ttft_ms.size(), 0u);
+  if (m.aggregate.rejected_requests == 0) {
+    int64_t expected = 0;
+    for (const auto& r : workload) expected += std::max<int64_t>(r.output_len, 1);
+    EXPECT_EQ(m.aggregate.total_output_tokens, expected);
+  }
+
+  // Migration time decomposition on the decode side.
+  EXPECT_GT(m.decode_pool.total_migration_ms, 0.0);
+  EXPECT_LE(m.decode_pool.migration_hidden_ms,
+            m.decode_pool.total_migration_ms + 1e-9);
+  EXPECT_GE(m.decode_pool.MigrationOverlapEfficiency(), 0.0);
+  EXPECT_LE(m.decode_pool.MigrationOverlapEfficiency(), 1.0 + 1e-9);
+}
+
+// Decode-pool rejection fallback: when no decode replica has KV headroom
+// for a unit, it decodes where it prefilled instead of wedging — and the
+// run still completes every request.
+TEST(DisaggCluster, RetainsWhenDecodePoolFull) {
+  ClusterConfig cfg = DisaggConfig();
+  cfg.num_replicas = 2;
+  cfg.prefill_replicas = 1;
+  // Tiny per-replica KV: long-decode units overflow the single decode
+  // replica, forcing retain fallbacks.
+  cfg.engine.hbm_capacity_gb = HbmForBudget(cfg.engine, 6000);
+  Rng rng(29);
+  auto workload =
+      serving::UniformWorkload(rng, 40, 60.0, 512, 2048, /*output_len=*/256);
+  const ClusterMetrics m = ClusterEngine(cfg).Run(workload);
+
+  EXPECT_GT(m.migrations_retained, 0);
+  EXPECT_EQ(m.prefill_pool.num_migrations_retained, m.migrations_retained);
+  EXPECT_EQ(m.aggregate.ttft_ms.size() +
+                static_cast<size_t>(m.aggregate.rejected_requests),
+            workload.size());
+  // Retained units emit their decode tokens on the prefill replica.
+  if (m.migrations_retained > 0) {
+    EXPECT_GT(m.prefill_pool.itl_ms.size() + m.prefill_pool.branch_stalls.size(),
+              0u);
+  }
+}
+
+// Determinism: back-to-back runs are identical, and the threaded driver
+// reproduces the serial one bit-for-bit (migration processing only happens
+// on the driver thread between fan-out barriers).
+TEST(DisaggCluster, DeterministicAndThreadedTwinIdentical) {
+  const auto workload = DisaggWorkload(53);
+  ClusterConfig cfg = DisaggConfig();
+  cfg.engine.telemetry.enabled = true;
+  ClusterEngine eng(cfg);
+  const ClusterMetrics a = eng.Run(workload);
+  const ClusterMetrics b = eng.Run(workload);
+
+  ClusterConfig tcfg = cfg;
+  tcfg.step_threads = 3;
+  const ClusterMetrics c = ClusterEngine(tcfg).Run(workload);
+
+  for (const ClusterMetrics* other : {&b, &c}) {
+    EXPECT_DOUBLE_EQ(other->makespan_s, a.makespan_s);
+    EXPECT_EQ(other->migrations, a.migrations);
+    EXPECT_EQ(other->migrations_retained, a.migrations_retained);
+    EXPECT_EQ(other->aggregate.num_steps, a.aggregate.num_steps);
+    EXPECT_EQ(other->aggregate.total_output_tokens,
+              a.aggregate.total_output_tokens);
+    EXPECT_DOUBLE_EQ(other->aggregate.total_migration_ms,
+                     a.aggregate.total_migration_ms);
+    EXPECT_DOUBLE_EQ(other->aggregate.migration_hidden_ms,
+                     a.aggregate.migration_hidden_ms);
+    EXPECT_DOUBLE_EQ(other->aggregate.migration_stall_ms,
+                     a.aggregate.migration_stall_ms);
+    ASSERT_EQ(other->aggregate.itl_ms.size(), a.aggregate.itl_ms.size());
+    for (size_t i = 0; i < a.aggregate.itl_ms.size(); ++i) {
+      EXPECT_DOUBLE_EQ(other->aggregate.itl_ms[i], a.aggregate.itl_ms[i]);
+    }
+    EXPECT_EQ(other->replica_requests, a.replica_requests);
+  }
+}
+
+// Unified mode must be untouched by the disaggregated driver: the refactored
+// route/step path with disaggregated=false reproduces a pre-refactor
+// invariant (single replica == plain engine) exactly.
+TEST(DisaggCluster, UnifiedModeUnchangedBySplitDriver) {
+  Rng rng(77);
+  const auto workload = serving::ShareGptWorkload(rng, 40, 20.0);
+  ServingEngine engine(BaseConfig());
+  const ServingMetrics em = engine.Run(workload);
+
+  ClusterConfig cfg;
+  cfg.engine = BaseConfig();
+  cfg.num_replicas = 1;
+  const ClusterMetrics cm = ClusterEngine(cfg).Run(workload);
+  EXPECT_DOUBLE_EQ(cm.aggregate.makespan_s, em.makespan_s);
+  EXPECT_EQ(cm.aggregate.num_steps, em.num_steps);
+  EXPECT_EQ(cm.aggregate.total_output_tokens, em.total_output_tokens);
+  EXPECT_TRUE(cm.replica_pool.empty());  // Disagg fields stay zeroed.
+  EXPECT_EQ(cm.migrations, 0);
+}
+
+}  // namespace
+}  // namespace flashinfer

@@ -424,6 +424,98 @@ void RunClusterTrial(uint64_t seed) {
   }
 }
 
+void RunDisaggTrial(uint64_t seed) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  g_current_seed = seed;
+  g_current_engine = nullptr;
+  const int failed_before = FailedPartCount();
+  Rng rng(seed);
+  cluster::ClusterConfig cfg;
+  // The whole random engine config space (chunking, spec, preemption, tight
+  // budgets) soaks through the disaggregated driver: export/import must
+  // compose with every subsystem.
+  cfg.engine = RandomConfig(rng);
+  cfg.num_replicas = 4;
+  cfg.disaggregated = true;
+  cfg.prefill_replicas = 1 + static_cast<int>(rng.UniformInt(0, 2));
+  cfg.migration_gbps = rng.Uniform(16.0, 128.0);
+  cfg.migration_latency_us = rng.Uniform(50.0, 400.0);
+  cfg.policy = rng.NextDouble() < 0.5 ? cluster::RouterPolicy::kRoundRobin
+                                      : cluster::RouterPolicy::kLeastLoaded;
+
+  serving::TenantPoolConfig tcfg;
+  tcfg.num_tenants = static_cast<int>(rng.UniformInt(4, 12));
+  auto reqs = serving::MultiTenantWorkload(
+      rng, static_cast<int>(rng.UniformInt(30, 60)), rng.Uniform(20.0, 60.0), tcfg);
+  serving::AssignPriorities(rng, reqs, {0.7, 0.3});
+  serving::AssignAcceptance(rng, reqs, 0.3, 0.95);
+
+  cluster::ClusterEngine cluster(cfg);
+  const auto m = cluster.Run(reqs);
+
+  // Conservation across pools: routed == workload, every admitted request
+  // emitted its first token on the prefill pool, extraction == admission.
+  EXPECT_EQ(m.router.routed, static_cast<int64_t>(reqs.size()));
+  EXPECT_EQ(m.aggregate.ttft_ms.size() +
+                static_cast<size_t>(m.aggregate.rejected_requests),
+            reqs.size());
+  EXPECT_EQ(m.decode_pool.ttft_ms.size(), 0u);
+  EXPECT_EQ(m.prefill_pool.num_migrations_out, m.migrations);
+  EXPECT_EQ(m.decode_pool.num_migrations_in, m.migrations);
+  EXPECT_EQ(m.prefill_pool.num_migrations_retained, m.migrations_retained);
+  EXPECT_EQ(m.aggregate.num_swap_restores + m.aggregate.num_recompute_restores,
+            m.aggregate.num_preemptions);
+  // Migration time decomposition: hidden time never exceeds transfer time.
+  EXPECT_GE(m.decode_pool.total_migration_ms, 0.0);
+  EXPECT_LE(m.decode_pool.migration_hidden_ms,
+            m.decode_pool.total_migration_ms + 1e-9);
+  EXPECT_GE(m.decode_pool.migration_stall_ms, 0.0);
+  // Prompts never route to the decode pool.
+  for (int i = cfg.prefill_replicas; i < cfg.num_replicas; ++i) {
+    EXPECT_EQ(m.replica_requests[static_cast<size_t>(i)], 0);
+  }
+  const obs::MetricsRegistry* reg = cluster.Telemetry();
+  ASSERT_NE(reg, nullptr);
+  EXPECT_DOUBLE_EQ(reg->CounterFamilyTotal("fi_migrations_out_total"),
+                   static_cast<double>(m.migrations));
+  EXPECT_DOUBLE_EQ(reg->CounterFamilyTotal("fi_migrations_in_total"),
+                   static_cast<double>(m.migrations));
+  EXPECT_DOUBLE_EQ(reg->CounterFamilyTotal("fi_migrations_retained_total"),
+                   static_cast<double>(m.migrations_retained));
+
+  // Threaded twin: the disaggregated driver's fine-grained prefill stepping
+  // still only syncs at barriers, so any thread count is bit-identical.
+  {
+    cluster::ClusterConfig tcfg2 = cfg;
+    tcfg2.step_threads = 2 + static_cast<int>(seed % 3);
+    cluster::ClusterEngine threaded(tcfg2);
+    const auto tm = threaded.Run(reqs);
+    EXPECT_DOUBLE_EQ(tm.makespan_s, m.makespan_s);
+    EXPECT_EQ(tm.migrations, m.migrations);
+    EXPECT_EQ(tm.migrations_retained, m.migrations_retained);
+    EXPECT_EQ(tm.aggregate.num_steps, m.aggregate.num_steps);
+    EXPECT_EQ(tm.aggregate.total_output_tokens, m.aggregate.total_output_tokens);
+    EXPECT_DOUBLE_EQ(tm.aggregate.total_migration_ms,
+                     m.aggregate.total_migration_ms);
+    EXPECT_DOUBLE_EQ(tm.aggregate.migration_hidden_ms,
+                     m.aggregate.migration_hidden_ms);
+    EXPECT_DOUBLE_EQ(tm.aggregate.migration_stall_ms,
+                     m.aggregate.migration_stall_ms);
+    EXPECT_EQ(tm.replica_requests, m.replica_requests);
+    ASSERT_EQ(tm.aggregate.itl_ms.size(), m.aggregate.itl_ms.size());
+    for (size_t i = 0; i < tm.aggregate.itl_ms.size(); ++i) {
+      EXPECT_DOUBLE_EQ(tm.aggregate.itl_ms[i], m.aggregate.itl_ms[i]);
+    }
+    const obs::MetricsRegistry* treg = threaded.Telemetry();
+    ASSERT_NE(treg, nullptr);
+    EXPECT_EQ(treg->JsonSnapshot(tm.makespan_s), reg->JsonSnapshot(m.makespan_s));
+  }
+
+  if (FailedPartCount() > failed_before) {
+    DumpTrialTrace(cluster.LastTrace(), seed);
+  }
+}
+
 int TrialCount() {
   const char* env = std::getenv("FI_SOAK_TRIALS");
   if (env == nullptr) return 50;
@@ -437,6 +529,8 @@ TEST(Soak, PinnedSeeds) {
     RunEngineTrial(seed, /*check_step_equiv=*/true);
     if (::testing::Test::HasFatalFailure()) return;
     RunClusterTrial(seed ^ 0xA5A5A5A5ull);
+    if (::testing::Test::HasFatalFailure()) return;
+    RunDisaggTrial(seed ^ 0xD15A66ull);
   }
 }
 
@@ -454,6 +548,14 @@ TEST(Soak, RandomizedClusterTrials) {
   const int trials = (TrialCount() + 5) / 6;  // ~1 cluster trial per 6 engine.
   for (int i = 0; i < trials; ++i) {
     RunClusterTrial(0xC105E0ull + static_cast<uint64_t>(i));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(Soak, RandomizedDisaggTrials) {
+  const int trials = (TrialCount() + 5) / 6;
+  for (int i = 0; i < trials; ++i) {
+    RunDisaggTrial(0xD15A0000ull + static_cast<uint64_t>(i));
     if (::testing::Test::HasFatalFailure()) return;
   }
 }
