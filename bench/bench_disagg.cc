@@ -147,7 +147,7 @@ int main(int argc, char** argv) {
   dt.Print();
 
   const double decode_p99 = dm.decode_pool.P99ItlMs();
-  const double overlap_eff = dm.decode_pool.MigrationOverlapEfficiency();
+  const double overlap_eff = dm.decode_pool.MigrationOverlapEfficiency().value_or(0.0);
   std::printf("\nmigrations: %lld shipped, %lld retained (decode pool full), "
               "%.1f Mtok KV moved\n",
               static_cast<long long>(dm.migrations),

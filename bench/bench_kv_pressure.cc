@@ -361,14 +361,16 @@ int main(int argc, char** argv) {
                    AsciiTable::Num(m->total_swap_ms, 1),
                    AsciiTable::Num(m->swap_stall_ms, 1),
                    AsciiTable::Num(m->swap_hidden_ms, 1),
-                   AsciiTable::Num(m->SwapOverlapEfficiency(), 2)});
+                   m->SwapOverlapEfficiency()
+                       ? AsciiTable::Num(*m->SwapOverlapEfficiency(), 2)
+                       : "-"});
       }
       const std::string key =
           name.front() == 'l' ? "overlap_long" : "overlap_tight";
       json.Add(key + "_legacy_stall_ms", legacy.swap_stall_ms);
       json.Add(key + "_stall_ms", over.swap_stall_ms);
       json.Add(key + "_hidden_ms", over.swap_hidden_ms);
-      json.Add(key + "_efficiency", over.SwapOverlapEfficiency());
+      json.Add(key + "_efficiency", over.SwapOverlapEfficiency().value_or(0.0));
       json.Add(key + "_legacy_tok_s", legacy.ThroughputTokS());
       json.Add(key + "_tok_s", over.ThroughputTokS());
       // Strictly less stall at matched (or better) throughput.

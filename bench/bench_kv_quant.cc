@@ -1,0 +1,304 @@
+// Quantized + compressed host KV tier: capacity multiplier x accuracy proxy
+// x restore latency.
+//
+// Two parts:
+//   1. Page-codec sweep at REAL model geometry (8 KV heads x 128 head_dim,
+//      f16, 16-token pages = 64 KiB/page): for each codec config, encode a
+//      host tier's worth of correlated synthetic KV and measure the
+//      effective capacity multiplier (logical/stored bytes), the mean
+//      per-page quantization MSE (the accuracy proxy), and bit-exactness of
+//      the lossless path. Acceptance: int8+lz4 reaches >= 2x capacity at a
+//      bounded proxy; compress-only decodes bit-exactly.
+//   2. Engine sweep under KV pressure (Llama 3.1 8B, H100): codec-off vs
+//      int8+lz4 with the same nominal host capacity. The codec run must
+//      price decode time into restores (codec_decode_ms > 0), meter stored
+//      bytes below logical, and convert recompute restores into swap
+//      restores on a host tier the raw path exhausts. Codec-off must be
+//      bit-identical to a default-config run (the bugfix pin).
+//
+// Usage: bench_kv_quant [--quick] [--json <path>] [--check <baseline>]
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "kvcache/paged.h"
+#include "serving/engine.h"
+#include "serving/workload.h"
+#include "util/codec.h"
+#include "util/float_types.h"
+
+using namespace flashinfer;
+using namespace flashinfer::serving;
+
+namespace {
+
+EngineConfig BaseConfig() {
+  EngineConfig cfg;
+  cfg.model = Llama31_8B();
+  cfg.device = gpusim::H100Sxm80GB();
+  cfg.backend = FlashInferBackend();
+  return cfg;
+}
+
+double HbmForBudget(const EngineConfig& cfg, int64_t budget_tokens) {
+  const double kv_bytes = static_cast<double>(budget_tokens) *
+                          cfg.model.KvBytesPerToken(cfg.backend.kv_dtype) / 0.9;
+  return (cfg.model.WeightBytesPerGpu() + kv_bytes) / 1e9;
+}
+
+// Real per-GPU KV geometry of the engine's model: 8 KV heads (GQA), 128
+// head_dim, f16 storage, 16-token pages -> 64 KiB per page.
+constexpr int kHeads = 8;
+constexpr int kDim = 128;
+constexpr int kPage = 16;
+
+/// Correlated synthetic KV: smooth per-head activations with token-position
+/// drift plus small noise — the value structure real KV compresses on
+/// (nearby tokens and dims are similar), not white noise.
+void FillSequence(PagedKVCache& kv, int seq, int64_t tokens, Rng& rng) {
+  std::vector<float> k(static_cast<size_t>(tokens) * kHeads * kDim);
+  std::vector<float> v(k.size());
+  for (int64_t t = 0; t < tokens; ++t) {
+    for (int h = 0; h < kHeads; ++h) {
+      for (int d = 0; d < kDim; ++d) {
+        const size_t i =
+            (static_cast<size_t>(t) * kHeads + static_cast<size_t>(h)) * kDim +
+            static_cast<size_t>(d);
+        const float base = std::sin(0.02f * static_cast<float>(d) +
+                                    0.7f * static_cast<float>(h)) *
+                           2.0f;
+        const float drift = 0.001f * static_cast<float>(t);
+        const float noise = static_cast<float>(rng.Uniform(-0.05, 0.05));
+        k[i] = base + drift + noise;
+        v[i] = 0.5f * base - drift + noise;
+      }
+    }
+  }
+  kv.AppendTokens(seq, k.data(), v.data(), tokens);
+}
+
+struct CodecPoint {
+  const char* name;
+  KvCodecConfig cfg;
+};
+
+struct CodecRow {
+  double multiplier = 0.0;  // logical / stored bytes.
+  double mean_mse = 0.0;
+  double restore_ms = 0.0;  // Engine-priced swap-in of one `ctx`-token branch.
+  bool lossless_exact = false;
+};
+
+/// Encodes + decodes `pages` real-geometry pages through the codec tier and
+/// reports the realized multiplier, accuracy proxy, and bit-exactness.
+CodecRow MeasureCodec(const KvCodecConfig& codec, int64_t pages, Rng& rng) {
+  CodecRow row;
+  PagedKVCache kv(DType::kF16, kHeads, kDim, kPage, pages + 2, pages, codec);
+  const int seq = kv.CreateSequence();
+  FillSequence(kv, seq, pages * kPage, rng);
+
+  // Snapshot the raw bytes of the first page for the bit-exactness probe.
+  const int64_t page0 = kv.SequencePages(seq)[0];
+  std::vector<float> before;
+  for (int h = 0; h < kHeads; ++h) {
+    for (int d = 0; d < kDim; ++d) {
+      before.push_back(kv.KAt(page0, h, 0, d));
+      before.push_back(kv.VAt(page0, h, 7, d));
+    }
+  }
+
+  const auto st = kv.EvictSequenceEx(seq);
+  row.multiplier = st.stored_bytes > 0
+                       ? static_cast<double>(st.logical_bytes) /
+                             static_cast<double>(st.stored_bytes)
+                       : 0.0;
+  row.mean_mse = st.mse_pages > 0 ? st.mse_sum / static_cast<double>(st.mse_pages) : 0.0;
+  const auto rt = kv.RestoreSequenceEx(seq);
+  row.lossless_exact = rt.pages == pages;
+  const int64_t page0b = kv.SequencePages(seq)[0];
+  size_t i = 0;
+  for (int h = 0; h < kHeads && row.lossless_exact; ++h) {
+    for (int d = 0; d < kDim; ++d) {
+      // Bit-exact for the lossless path; bounded for quantized configs.
+      const float ka = kv.KAt(page0b, h, 0, d);
+      const float va = kv.VAt(page0b, h, 7, d);
+      const float ke = before[i++];
+      const float ve = before[i++];
+      if (codec.quant == KvQuantFormat::kNone) {
+        if (half_t(ka).bits != half_t(ke).bits || half_t(va).bits != half_t(ve).bits) {
+          row.lossless_exact = false;
+        }
+      } else if (std::abs(ka - ke) > 0.25f || std::abs(va - ve) > 0.25f) {
+        row.lossless_exact = false;
+      }
+    }
+  }
+  return row;
+}
+
+std::vector<Request> PressureWorkload(int n) {
+  Rng rng(13);
+  auto reqs = UniformWorkload(rng, n, 25.0, 512, 1024, 96);
+  AssignPriorities(rng, reqs, {0.7, 0.3});
+  return reqs;
+}
+
+ServingMetrics RunEngine(const std::vector<Request>& reqs, KvCodecConfig codec,
+                         double host_gb) {
+  EngineConfig cfg = BaseConfig();
+  cfg.preemption.enabled = true;
+  cfg.preemption.restore = RestorePolicy::kSwap;
+  cfg.preemption.host_capacity_gb = host_gb;
+  cfg.preemption.host_codec = codec;
+  cfg.hbm_capacity_gb = HbmForBudget(cfg, 8000);
+  return ServingEngine(cfg).Run(reqs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::WallTimer wall_timer;
+  const bool quick = bench::HasFlag(argc, argv, "--quick");
+  const char* json_path = bench::ArgValue(argc, argv, "--json");
+
+  bench::Banner("KV quant",
+                "quantized + compressed host KV tier: capacity x accuracy x latency");
+  bench::Note("Part 1 encodes real-geometry KV pages (8 KV heads x 128 dim, f16,");
+  bench::Note("64 KiB pages) through each codec config; part 2 runs the serving");
+  bench::Note("engine under KV pressure with the codec tier on, same nominal host");
+  bench::Note("capacity, and meters stored bytes, decode-priced restores, and the");
+  bench::Note("quantization-MSE accuracy proxy.");
+
+  bench::JsonResult json;
+  json.Add("bench", std::string("kv_quant"));
+  json.Add("quick", quick ? 1.0 : 0.0);
+
+  // --- 1. Page-codec sweep at real geometry -------------------------------
+  const int64_t pages = quick ? 64 : 256;
+  const std::vector<CodecPoint> points = {
+      {"none", {KvQuantFormat::kNone, false}},
+      {"lz4", {KvQuantFormat::kNone, true}},
+      {"int8", {KvQuantFormat::kInt8, false}},
+      {"int8+lz4", {KvQuantFormat::kInt8, true}},
+      {"fp8e4m3", {KvQuantFormat::kFp8E4M3, false}},
+      {"fp8e4m3+lz4", {KvQuantFormat::kFp8E4M3, true}},
+  };
+  std::printf("\n--- page codec at real geometry (%lld pages, 64 KiB each) ---\n",
+              static_cast<long long>(pages));
+  AsciiTable ct({"codec", "capacity x", "mean page MSE", "round trip"});
+  double none_mult = 0.0, int8lz4_mult = 0.0, int8lz4_mse = 0.0;
+  bool lossless_ok = true, quant_bounded = true;
+  Rng rng(0x5EED);
+  for (const auto& p : points) {
+    const auto row = MeasureCodec(p.cfg, pages, rng);
+    ct.AddRow({p.name, AsciiTable::Num(row.multiplier, 2),
+               p.cfg.quant == KvQuantFormat::kNone
+                   ? std::string("0 (lossless)")
+                   : AsciiTable::Num(row.mean_mse, 6),
+               row.lossless_exact ? "exact/bounded" : "MISMATCH"});
+    if (!row.lossless_exact) {
+      (p.cfg.quant == KvQuantFormat::kNone ? lossless_ok : quant_bounded) = false;
+    }
+    if (std::strcmp(p.name, "none") == 0) none_mult = row.multiplier;
+    if (std::strcmp(p.name, "int8+lz4") == 0) {
+      int8lz4_mult = row.multiplier;
+      int8lz4_mse = row.mean_mse;
+    }
+    json.Add(std::string("capacity_x_") + p.name, row.multiplier);
+    if (p.cfg.quant != KvQuantFormat::kNone) {
+      json.Add(std::string("mse_") + p.name, row.mean_mse);
+    }
+  }
+  ct.Print();
+
+  // Acceptance: >= 2x effective host capacity at a bounded accuracy proxy;
+  // raw storage pays only the per-page header (multiplier ~1).
+  const bool gate_capacity = int8lz4_mult >= 2.0;
+  const bool gate_proxy = int8lz4_mse > 0.0 && int8lz4_mse < 1e-3;
+  std::printf("\nint8+lz4: %.2fx capacity (acceptance: >= 2x), mean page MSE %.2e"
+              " (acceptance: < 1e-3): %s\n",
+              int8lz4_mult, int8lz4_mse,
+              gate_capacity && gate_proxy ? "yes" : "NO");
+  std::printf("lossless paths bit-exact: %s; quantized paths bounded: %s\n",
+              lossless_ok ? "yes" : "NO", quant_bounded ? "yes" : "NO");
+  json.Add("gate_capacity_2x", gate_capacity ? 1.0 : 0.0);
+  json.Add("gate_accuracy_proxy_bounded", gate_proxy ? 1.0 : 0.0);
+  json.Add("gate_lossless_exact", lossless_ok ? 1.0 : 0.0);
+  json.Add("raw_multiplier", none_mult);
+
+  // --- 2. Engine sweep: codec tier under KV pressure ----------------------
+  std::printf("\n--- engine under KV pressure (tight host tier, kSwap) ---\n");
+  // The workload/host-tier geometry is fixed (quick only scales part 1):
+  // this pairing is tuned so the raw tier exhausts its host budget and
+  // spills at least one victim to recompute, which the codec tier's stored-
+  // byte metering then converts back to a swap.
+  const auto reqs = PressureWorkload(40);
+  const double host_gb = 0.3;
+  const auto raw = RunEngine(reqs, {}, host_gb);
+  const auto enc =
+      RunEngine(reqs, {KvQuantFormat::kInt8, /*compress=*/true}, host_gb);
+
+  AsciiTable et({"tier", "tok/s", "swap restores", "recompute restores",
+                 "stored/logical", "decode ms", "mean page MSE"});
+  for (const auto* m : {&raw, &enc}) {
+    et.AddRow({m == &raw ? "raw" : "int8+lz4",
+               AsciiTable::Num(m->ThroughputTokS(), 0),
+               AsciiTable::Num(static_cast<double>(m->num_swap_restores), 0),
+               AsciiTable::Num(static_cast<double>(m->num_recompute_restores), 0),
+               AsciiTable::Num(m->HostStoredRatio(), 3),
+               AsciiTable::Num(m->codec_decode_ms, 2),
+               AsciiTable::Num(m->MeanPageQuantMse(), 6)});
+  }
+  et.Print();
+
+  // Codec-off must be bit-identical to a default-config run: the codec
+  // knobs are dead until host_codec enables them (the bugfix pin).
+  EngineConfig base_cfg = BaseConfig();
+  base_cfg.preemption.enabled = true;
+  base_cfg.preemption.restore = RestorePolicy::kSwap;
+  base_cfg.preemption.host_capacity_gb = host_gb;
+  base_cfg.preemption.codec_encode_gbps = 1.0;  // Dead knob codec-off.
+  base_cfg.hbm_capacity_gb = HbmForBudget(base_cfg, 8000);
+  const auto pin = ServingEngine(base_cfg).Run(reqs);
+  const bool gate_identical = pin.makespan_s == raw.makespan_s &&
+                              pin.total_swap_ms == raw.total_swap_ms &&
+                              pin.num_swap_restores == raw.num_swap_restores;
+
+  const bool gate_swaps = enc.num_swap_restores > raw.num_swap_restores &&
+                          enc.num_recompute_restores < raw.num_recompute_restores;
+  const bool gate_decode = enc.codec_decode_ms > 0.0 && raw.codec_decode_ms == 0.0;
+  const bool gate_ratio = enc.HostStoredRatio() < 1.0 && raw.HostStoredRatio() == 1.0;
+  std::printf("\ncodec tier converts recompute restores into swaps on the same host"
+              " budget: %s\n", gate_swaps ? "yes" : "NO");
+  std::printf("decode priced into restores (codec on only): %s; stored < logical"
+              " (codec on only): %s; codec-off bit-identical: %s\n",
+              gate_decode ? "yes" : "NO", gate_ratio ? "yes" : "NO",
+              gate_identical ? "yes" : "NO");
+  json.Add("raw_tok_s", raw.ThroughputTokS());
+  json.Add("codec_tok_s", enc.ThroughputTokS());
+  json.Add("raw_swap_restores", static_cast<double>(raw.num_swap_restores));
+  json.Add("codec_swap_restores", static_cast<double>(enc.num_swap_restores));
+  json.Add("codec_stored_ratio", enc.HostStoredRatio());
+  json.Add("codec_decode_ms", enc.codec_decode_ms);
+  json.Add("codec_mean_page_mse", enc.MeanPageQuantMse());
+  json.Add("gate_codec_converts_recompute", gate_swaps ? 1.0 : 0.0);
+  json.Add("gate_decode_priced", gate_decode ? 1.0 : 0.0);
+  json.Add("gate_stored_lt_logical", gate_ratio ? 1.0 : 0.0);
+  json.Add("gate_codec_off_identical", gate_identical ? 1.0 : 0.0);
+
+  const bool ok = gate_capacity && gate_proxy && lossless_ok && quant_bounded &&
+                  gate_swaps && gate_decode && gate_ratio && gate_identical;
+  json.Add("acceptance_passed", ok ? 1.0 : 0.0);
+  json.Add("wall_ms", wall_timer.ElapsedMs());
+  if (!json.WriteTo(json_path)) return 1;
+  if (!ok) {
+    std::printf("ACCEPTANCE FAILED\n");
+    return 1;
+  }
+  if (const char* baseline = bench::ArgValue(argc, argv, "--check")) {
+    if (!bench::CheckBaseline(baseline, json)) return 1;
+  }
+  return 0;
+}

@@ -57,6 +57,12 @@ void MergeInto(ServingMetrics& agg, const ServingMetrics& m) {
   agg.num_swap_restores += m.num_swap_restores;
   agg.num_recompute_restores += m.num_recompute_restores;
   agg.preempt_stall_steps += m.preempt_stall_steps;
+  agg.evicted_logical_bytes += m.evicted_logical_bytes;
+  agg.evicted_stored_bytes += m.evicted_stored_bytes;
+  agg.codec_encode_ms += m.codec_encode_ms;
+  agg.codec_decode_ms += m.codec_decode_ms;
+  agg.quant_mse_sum += m.quant_mse_sum;
+  agg.quant_mse_pages += m.quant_mse_pages;
   agg.spec_steps += m.spec_steps;
   agg.spec_committed_tokens += m.spec_committed_tokens;
   agg.total_draft_ms += m.total_draft_ms;

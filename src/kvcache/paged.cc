@@ -5,13 +5,16 @@
 namespace flashinfer {
 
 PagedKVCache::PagedKVCache(DType dtype, int num_kv_heads, int head_dim, int page_size,
-                           int64_t max_pages, int64_t max_host_pages)
+                           int64_t max_pages, int64_t max_host_pages, KvCodecConfig codec,
+                           bool synthetic_fill)
     : dtype_(dtype),
       num_kv_heads_(num_kv_heads),
       head_dim_(head_dim),
       page_size_(page_size),
       max_pages_(max_pages),
-      max_host_pages_(max_host_pages) {
+      max_host_pages_(max_host_pages),
+      codec_(codec),
+      synthetic_fill_(synthetic_fill) {
   FI_CHECK_GE(num_kv_heads, 1);
   FI_CHECK_GE(head_dim, 1);
   FI_CHECK_GE(page_size, 1);
@@ -22,10 +25,32 @@ PagedKVCache::PagedKVCache(DType dtype, int num_kv_heads, int head_dim, int page
   ref_.assign(static_cast<size_t>(max_pages_), 0);
   free_list_.reserve(static_cast<size_t>(max_pages_));
   for (int64_t p = max_pages_ - 1; p >= 0; --p) free_list_.push_back(p);
-  host_data_.resize(
-      static_cast<size_t>(elems_per_page_ * max_host_pages_ * DTypeBytes(dtype_)));
-  host_free_list_.reserve(static_cast<size_t>(max_host_pages_));
-  for (int64_t p = max_host_pages_ - 1; p >= 0; --p) host_free_list_.push_back(p);
+  if (!codec_.enabled()) {
+    // Raw host tier: a fixed pool of page-sized slots. The codec tier stores
+    // variable-size blobs instead and charges bytes, so it skips this
+    // allocation entirely.
+    host_data_.resize(
+        static_cast<size_t>(elems_per_page_ * max_host_pages_ * DTypeBytes(dtype_)));
+    host_free_list_.reserve(static_cast<size_t>(max_host_pages_));
+    for (int64_t p = max_host_pages_ - 1; p >= 0; --p) host_free_list_.push_back(p);
+  }
+}
+
+bool PagedKVCache::HostCanHold(int64_t pages) const noexcept {
+  if (!codec_.enabled()) return pages <= static_cast<int64_t>(host_free_list_.size());
+  const int64_t bound = static_cast<int64_t>(
+      util::EncodedPageBound(static_cast<size_t>(elems_per_page_), dtype_, codec_));
+  return pages * bound <= host_byte_capacity() - host_bytes_in_use_;
+}
+
+double PagedKVCache::ObservedStoredRatio() const noexcept {
+  if (!codec_.enabled()) return 1.0;
+  if (cum_logical_bytes_ > 0) {
+    return static_cast<double>(cum_stored_bytes_) / static_cast<double>(cum_logical_bytes_);
+  }
+  const double bound = static_cast<double>(
+      util::EncodedPageBound(static_cast<size_t>(elems_per_page_), dtype_, codec_));
+  return bound / static_cast<double>(PageBytes());
 }
 
 int64_t PagedKVCache::AllocPage() {
@@ -56,6 +81,24 @@ int64_t PagedKVCache::AllocHostPage() {
   const int64_t page = host_free_list_.back();
   host_free_list_.pop_back();
   return page;
+}
+
+int64_t PagedKVCache::AllocBlobSlot() {
+  if (!host_blob_free_.empty()) {
+    const int64_t slot = host_blob_free_.back();
+    host_blob_free_.pop_back();
+    return slot;
+  }
+  host_blobs_.emplace_back();
+  return static_cast<int64_t>(host_blobs_.size()) - 1;
+}
+
+void PagedKVCache::FreeBlobSlot(int64_t slot) {
+  auto& blob = host_blobs_.at(static_cast<size_t>(slot));
+  host_bytes_in_use_ -= static_cast<int64_t>(blob.size());
+  --live_host_pages_;
+  blob = {};
+  host_blob_free_.push_back(slot);
 }
 
 int PagedKVCache::CreateSequence() {
@@ -105,6 +148,26 @@ void PagedKVCache::AdoptPrefix(int seq, const std::vector<int64_t>& pages, int64
   s.length = token_count;
 }
 
+void PagedKVCache::FillSlotSynthetic(int64_t page, int slot) {
+  for (int h = 0; h < num_kv_heads_; ++h) {
+    const int64_t koff = KOffset(page, h, slot);
+    const int64_t voff = VOffset(page, h, slot);
+    for (int d = 0; d < head_dim_; ++d) {
+      // Deterministic pseudo-values keyed by the element's storage position:
+      // page reuse, forks, and Run≡StepTo twins all see identical bytes. A
+      // small value alphabet in [-1, 1) keeps the encoded pages compressible
+      // enough to behave like real (correlated) KV.
+      for (const int64_t off : {koff + d, voff + d}) {
+        uint64_t x = static_cast<uint64_t>(off) * 0x9E3779B97F4A7C15ull;
+        x ^= x >> 29;
+        x *= 0xBF58476D1CE4E5B9ull;
+        x ^= x >> 32;
+        StoreElem(off, static_cast<float>((x >> 11) & 0xF) / 8.0f - 1.0f);
+      }
+    }
+  }
+}
+
 void PagedKVCache::ExtendSequence(int seq, int64_t count) {
   auto& s = seqs_.at(static_cast<size_t>(seq));
   FI_CHECK(s.live);
@@ -117,6 +180,9 @@ void PagedKVCache::ExtendSequence(int seq, int64_t count) {
   }
   for (int64_t t = 0; t < count; ++t) {
     if (s.length % page_size_ == 0) s.pages.push_back(AllocPage());
+    if (synthetic_fill_) {
+      FillSlotSynthetic(s.pages.back(), static_cast<int>(s.length % page_size_));
+    }
     ++s.length;
   }
 }
@@ -173,54 +239,117 @@ void PagedKVCache::DropSequence(int seq) {
     if (p >= 0) ReleasePage(p);
   }
   for (int64_t h : s.host_slots) {
-    if (h >= 0) host_free_list_.push_back(h);
+    if (h < 0) continue;
+    if (codec_.enabled()) {
+      FreeBlobSlot(h);
+    } else {
+      host_free_list_.push_back(h);
+    }
   }
   s = Sequence{};
 }
 
-int64_t PagedKVCache::EvictSequence(int seq) {
+int64_t PagedKVCache::EvictSequence(int seq) { return EvictSequenceEx(seq).pages; }
+
+PagedKVCache::CodecStats PagedKVCache::EvictSequenceEx(int seq) {
   auto& s = seqs_.at(static_cast<size_t>(seq));
   FI_CHECK(s.live);
   FI_CHECK(!s.evicted);
   const int64_t bytes_per_elem = DTypeBytes(dtype_);
   s.host_slots.assign(s.pages.size(), -1);
-  int64_t offloaded = 0;
+  CodecStats out;
   for (size_t i = 0; i < s.pages.size(); ++i) {
     const int64_t p = s.pages[i];
     if (ref_[static_cast<size_t>(p)] > 1) continue;  // Shared: stays resident.
-    const int64_t h = AllocHostPage();
-    std::copy_n(data_.begin() + p * elems_per_page_ * bytes_per_elem,
-                elems_per_page_ * bytes_per_elem,
-                host_data_.begin() + h * elems_per_page_ * bytes_per_elem);
+    if (codec_.enabled()) {
+      util::PageCodecStats ps;
+      auto blob = util::EncodePage(data_.data() + p * elems_per_page_ * bytes_per_elem,
+                                   static_cast<size_t>(elems_per_page_), dtype_, codec_, &ps);
+      FI_CHECK_LE(host_bytes_in_use_ + static_cast<int64_t>(blob.size()),
+                  host_byte_capacity());
+      const int64_t slot = AllocBlobSlot();
+      host_bytes_in_use_ += static_cast<int64_t>(blob.size());
+      ++live_host_pages_;
+      host_blobs_[static_cast<size_t>(slot)] = std::move(blob);
+      s.host_slots[i] = slot;
+      out.stored_bytes += ps.stored_bytes;
+      out.logical_bytes += ps.logical_bytes;
+      if (codec_.quant != KvQuantFormat::kNone) {
+        out.mse_sum += ps.mse;
+        ++out.mse_pages;
+      }
+    } else {
+      const int64_t h = AllocHostPage();
+      std::copy_n(data_.begin() + p * elems_per_page_ * bytes_per_elem,
+                  elems_per_page_ * bytes_per_elem,
+                  host_data_.begin() + h * elems_per_page_ * bytes_per_elem);
+      s.host_slots[i] = h;
+      out.stored_bytes += PageBytes();
+      out.logical_bytes += PageBytes();
+    }
     ReleasePage(p);
     s.pages[i] = -1;
-    s.host_slots[i] = h;
-    ++offloaded;
+    ++out.pages;
   }
   s.evicted = true;
-  return offloaded;
+  if (codec_.enabled()) {
+    cum_stored_bytes_ += out.stored_bytes;
+    cum_logical_bytes_ += out.logical_bytes;
+  }
+  s.host_stats.pages += out.pages;
+  s.host_stats.stored_bytes += out.stored_bytes;
+  s.host_stats.logical_bytes += out.logical_bytes;
+  s.host_stats.mse_sum += out.mse_sum;
+  s.host_stats.mse_pages += out.mse_pages;
+  return out;
 }
 
-int64_t PagedKVCache::RestoreSequence(int seq) {
+int64_t PagedKVCache::RestoreSequence(int seq) { return RestoreSequenceEx(seq).pages; }
+
+PagedKVCache::CodecStats PagedKVCache::RestoreSequenceEx(int seq) {
   auto& s = seqs_.at(static_cast<size_t>(seq));
   FI_CHECK(s.live);
   FI_CHECK(s.evicted);
+  // Transactional: check the whole device need up front. A mid-loop
+  // allocation failure would strand a half-restored sequence — some pages
+  // device-resident, some still in the host tier, the frozen flag ambiguous
+  // — and leak its host pages. With the precheck, a shortfall mutates
+  // nothing: the caller sees -1, the sequence stays evicted and intact.
+  int64_t needed = 0;
+  for (const int64_t h : s.host_slots) {
+    if (h >= 0) ++needed;
+  }
+  if (needed > num_free_pages()) {
+    CodecStats fail;
+    fail.pages = -1;
+    return fail;
+  }
   const int64_t bytes_per_elem = DTypeBytes(dtype_);
-  int64_t restored = 0;
+  CodecStats out = s.host_stats;
+  out.pages = 0;
   for (size_t i = 0; i < s.pages.size(); ++i) {
     const int64_t h = s.host_slots[i];
     if (h < 0) continue;  // Stayed resident (shared page).
     const int64_t p = AllocPage();
-    std::copy_n(host_data_.begin() + h * elems_per_page_ * bytes_per_elem,
-                elems_per_page_ * bytes_per_elem,
-                data_.begin() + p * elems_per_page_ * bytes_per_elem);
-    host_free_list_.push_back(h);
+    if (codec_.enabled()) {
+      const auto& blob = host_blobs_.at(static_cast<size_t>(h));
+      util::DecodePage(blob.data(), blob.size(),
+                       data_.data() + p * elems_per_page_ * bytes_per_elem,
+                       static_cast<size_t>(elems_per_page_), dtype_);
+      FreeBlobSlot(h);
+    } else {
+      std::copy_n(host_data_.begin() + h * elems_per_page_ * bytes_per_elem,
+                  elems_per_page_ * bytes_per_elem,
+                  data_.begin() + p * elems_per_page_ * bytes_per_elem);
+      host_free_list_.push_back(h);
+    }
     s.pages[i] = p;
-    ++restored;
+    ++out.pages;
   }
   s.host_slots.clear();
+  s.host_stats = CodecStats{};
   s.evicted = false;
-  return restored;
+  return out;
 }
 
 bool PagedKVCache::IsEvicted(int seq) const {

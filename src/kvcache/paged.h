@@ -17,6 +17,17 @@
 // swaps its host pages back into freshly allocated device pages. Restore by
 // *recompute* needs no cache support: the owner drops the sequence outright
 // and rebuilds it through the prefill path.
+//
+// Codec tier (KvCodecConfig): with the codec enabled, host-tier pages are
+// stored *encoded* — optionally INT8/FP8-quantized (per-page scale/zero) and
+// optionally LZ4-compressed — in a variable-size blob store accounted in
+// BYTES against `max_host_pages * page bytes`. `max_host_pages` thus measures
+// stored bytes, and the tier's effective page capacity multiplies by the
+// compression ratio. Callers gate swap-outs with HostCanHold() (worst-case
+// encoded size, so admission never overshoots) and read the realized ratio /
+// accuracy proxy from the CodecStats that Evict/RestoreSequenceEx return.
+// With the codec disabled the host tier is byte-for-byte the raw page pool
+// it always was.
 #pragma once
 
 #include <cstdint>
@@ -24,15 +35,32 @@
 
 #include "sparse/bsr.h"
 #include "util/check.h"
+#include "util/codec.h"
 #include "util/float_types.h"
 
 namespace flashinfer {
 
 class PagedKVCache {
  public:
+  /// Per-call codec accounting for evict/restore: page count moved, stored
+  /// (encoded) vs logical bytes, and the summed per-page quantization MSE
+  /// (the accuracy proxy; mse_pages counts the pages it sums over).
+  struct CodecStats {
+    int64_t pages = 0;
+    int64_t stored_bytes = 0;
+    int64_t logical_bytes = 0;
+    double mse_sum = 0.0;
+    int64_t mse_pages = 0;
+  };
+
   /// `max_host_pages` sizes the host (offload) tier; 0 disables eviction.
+  /// `codec` selects the host-tier encoding (default: disabled = raw pages).
+  /// `synthetic_fill` makes ExtendSequence write deterministic pseudo-values
+  /// into the slots it allocates (structural caches carry no real KV; the
+  /// codec needs bytes that behave like data for ratio/MSE metering).
   PagedKVCache(DType dtype, int num_kv_heads, int head_dim, int page_size, int64_t max_pages,
-               int64_t max_host_pages = 0);
+               int64_t max_host_pages = 0, KvCodecConfig codec = {},
+               bool synthetic_fill = false);
 
   DType dtype() const noexcept { return dtype_; }
   int num_kv_heads() const noexcept { return num_kv_heads_; }
@@ -42,12 +70,37 @@ class PagedKVCache {
   int64_t num_free_pages() const noexcept { return static_cast<int64_t>(free_list_.size()); }
   int64_t num_live_pages() const noexcept { return max_pages_ - num_free_pages(); }
   int64_t max_host_pages() const noexcept { return max_host_pages_; }
+  /// Codec off: free raw host pages. Codec on: a conservative page count —
+  /// remaining host bytes divided by the worst-case encoded page size.
   int64_t num_free_host_pages() const noexcept {
-    return static_cast<int64_t>(host_free_list_.size());
+    if (!codec_.enabled()) return static_cast<int64_t>(host_free_list_.size());
+    const int64_t bound = static_cast<int64_t>(
+        util::EncodedPageBound(static_cast<size_t>(elems_per_page_), dtype_, codec_));
+    return (host_byte_capacity() - host_bytes_in_use_) / bound;
   }
   int64_t num_live_host_pages() const noexcept {
-    return max_host_pages_ - num_free_host_pages();
+    if (!codec_.enabled()) return max_host_pages_ - static_cast<int64_t>(host_free_list_.size());
+    return live_host_pages_;
   }
+
+  const KvCodecConfig& codec() const noexcept { return codec_; }
+  int64_t PageBytes() const noexcept { return elems_per_page_ * DTypeBytes(dtype_); }
+  /// The host tier's byte budget: `max_host_pages` raw-page-sized slots.
+  int64_t host_byte_capacity() const noexcept { return max_host_pages_ * PageBytes(); }
+  /// Bytes the host tier currently charges (encoded bytes with the codec on,
+  /// raw page bytes off).
+  int64_t host_bytes_in_use() const noexcept {
+    if (!codec_.enabled()) return num_live_host_pages() * PageBytes();
+    return host_bytes_in_use_;
+  }
+  /// True when the host tier can take `pages` more evicted pages right now:
+  /// free raw pages (codec off) or worst-case encoded bytes (codec on) — the
+  /// swap-out admission gate.
+  bool HostCanHold(int64_t pages) const noexcept;
+  /// Cumulative stored/logical ratio over every page this cache has encoded;
+  /// before any eviction, the worst-case encode ratio (1.0 with the codec
+  /// off). Restore-policy cost models price swap bytes with this.
+  double ObservedStoredRatio() const noexcept;
 
   /// Allocates a page with refcount 1. Aborts when the pool is exhausted
   /// (serving engines must check num_free_pages and evict first).
@@ -74,7 +127,8 @@ class PagedKVCache {
   // --- Fork / rollback (speculative decoding) -----------------------------
   /// Appends `count` token slots without writing K/V data (structural use:
   /// serving simulation tracks page accounting, not values). Allocates pages
-  /// exactly as AppendTokens would.
+  /// exactly as AppendTokens would. With `synthetic_fill`, the new slots are
+  /// filled with deterministic pseudo-values (see ctor).
   void ExtendSequence(int seq, int64_t count);
   /// Creates a new sequence sharing `seq`'s committed KV: full pages are
   /// retained (refcounted aliasing), a partially-filled last page is
@@ -88,16 +142,27 @@ class PagedKVCache {
 
   // --- Two-tier eviction / restore (preemption under KV pressure) ---------
   /// Moves the sequence's exclusively owned pages (refcount 1) to the host
-  /// tier and frees their device pages; pages shared with another holder
-  /// stay resident under this sequence's refcount (sharing survives). The
-  /// sequence is frozen until RestoreSequence. Returns the number of pages
-  /// offloaded to host. Aborts if the host pool cannot hold them — callers
-  /// gate on ExclusivePages()/num_free_host_pages() (or drop + recompute).
+  /// tier (encoding them when the codec is on) and frees their device pages;
+  /// pages shared with another holder stay resident under this sequence's
+  /// refcount (sharing survives). The sequence is frozen until
+  /// RestoreSequence. Returns the number of pages offloaded to host. Aborts
+  /// if the host pool cannot hold them — callers gate on
+  /// ExclusivePages()/HostCanHold() (or drop + recompute).
   int64_t EvictSequence(int seq);
+  /// EvictSequence plus the codec accounting of this swap-out: stored vs
+  /// logical bytes actually written to the host tier and the quantization-MSE
+  /// accuracy proxy.
+  CodecStats EvictSequenceEx(int seq);
   /// Swaps an evicted sequence's host pages back into freshly allocated
-  /// device pages (callers gate on num_free_pages) and unfreezes it.
-  /// Returns the number of pages swapped in.
+  /// device pages (decoding them when the codec is on) and unfreezes it.
+  /// Returns the number of pages swapped in. Transactional on device-pool
+  /// shortfall: when fewer than the needed free device pages exist, returns
+  /// -1 and mutates NOTHING — host pages stay held, the sequence stays
+  /// frozen, and the caller may retry after freeing device pages.
   int64_t RestoreSequence(int seq);
+  /// RestoreSequence plus the codec accounting captured at evict time
+  /// (pages == -1 on the shortfall path, all other fields zero).
+  CodecStats RestoreSequenceEx(int seq);
   bool IsEvicted(int seq) const;
   /// Pages EvictSequence would offload right now (refcount-1 pages): the
   /// host-tier space a swap-out needs and the device pages it would free.
@@ -140,11 +205,14 @@ class PagedKVCache {
     int64_t length = 0;
     bool live = false;
     bool evicted = false;
-    /// Parallel to `pages` while evicted: host page holding slot i's KV, or
-    /// -1 when the device page stayed resident (shared with another holder;
-    /// `pages[i]` keeps the refcounted device page in that case, and is -1
-    /// where the KV moved to host).
+    /// Parallel to `pages` while evicted: host page (codec off) or blob slot
+    /// (codec on) holding slot i's KV, or -1 when the device page stayed
+    /// resident (shared with another holder; `pages[i]` keeps the refcounted
+    /// device page in that case, and is -1 where the KV moved to host).
     std::vector<int64_t> host_slots;
+    /// Codec accounting of the bytes this sequence holds in the host tier
+    /// (accumulated at evict, returned + cleared at restore/drop).
+    CodecStats host_stats;
   };
 
   int64_t KOffset(int64_t page, int head, int slot) const noexcept {
@@ -160,6 +228,9 @@ class PagedKVCache {
   float LoadElem(int64_t elem_offset) const noexcept;
   void StoreElem(int64_t elem_offset, float v) noexcept;
   int64_t AllocHostPage();
+  int64_t AllocBlobSlot();
+  void FreeBlobSlot(int64_t slot);
+  void FillSlotSynthetic(int64_t page, int slot);
 
   DType dtype_;
   int num_kv_heads_;
@@ -167,6 +238,8 @@ class PagedKVCache {
   int page_size_;
   int64_t max_pages_;
   int64_t max_host_pages_ = 0;
+  KvCodecConfig codec_;
+  bool synthetic_fill_ = false;
   int64_t elems_per_page_;
   std::vector<std::byte> data_;
   std::vector<std::byte> host_data_;
@@ -174,6 +247,14 @@ class PagedKVCache {
   std::vector<int64_t> host_free_list_;
   std::vector<int32_t> ref_;
   std::vector<Sequence> seqs_;
+  // Codec-tier blob store: encoded pages, accounted in bytes.
+  std::vector<std::vector<uint8_t>> host_blobs_;
+  std::vector<int64_t> host_blob_free_;
+  int64_t host_bytes_in_use_ = 0;
+  int64_t live_host_pages_ = 0;
+  // Cumulative encode totals backing ObservedStoredRatio().
+  int64_t cum_stored_bytes_ = 0;
+  int64_t cum_logical_bytes_ = 0;
 };
 
 }  // namespace flashinfer

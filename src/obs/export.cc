@@ -65,6 +65,14 @@ std::string ArgsFor(const TraceEvent& e) {
       add("kv_len", static_cast<double>(e.a));
       add("pages", static_cast<double>(e.b));
       break;
+    case TraceName::kKvEncode:
+      add("logical_bytes", static_cast<double>(e.a));
+      add("stored_bytes", static_cast<double>(e.b));
+      break;
+    case TraceName::kKvDecode:
+      add("kv_len", static_cast<double>(e.a));
+      add("decode_us", static_cast<double>(e.b));
+      break;
     case TraceName::kCopyD2H:
     case TraceName::kCopyH2D:
       add("kv_len", static_cast<double>(e.a));
@@ -191,7 +199,9 @@ void WritePerfettoJson(std::ostream& os, const std::vector<TraceTrack>& tracks) 
           const bool kv_track = e.name == TraceName::kKvEvictSwap ||
                                 e.name == TraceName::kKvEvictDrop ||
                                 e.name == TraceName::kKvRestoreSwap ||
-                                e.name == TraceName::kKvRestoreRecompute;
+                                e.name == TraceName::kKvRestoreRecompute ||
+                                e.name == TraceName::kKvEncode ||
+                                e.name == TraceName::kKvDecode;
           w.Emit(Common("i", e, pid, kv_track ? 1 : 0) + ", \"s\": \"t\"" + args_obj);
           break;
         }

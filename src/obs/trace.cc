@@ -32,6 +32,8 @@ const char* TraceNameStr(TraceName n) {
     case TraceName::kKvEvictDrop: return "kv_evict_drop";
     case TraceName::kKvRestoreSwap: return "kv_restore_swap";
     case TraceName::kKvRestoreRecompute: return "kv_restore_recompute";
+    case TraceName::kKvEncode: return "kv_encode";
+    case TraceName::kKvDecode: return "kv_decode";
     case TraceName::kReqMigrateOut: return "migrate_out";
     case TraceName::kRouteDecision: return "route";
     case TraceName::kSloAlert: return "slo_alert";
@@ -42,6 +44,7 @@ const char* TraceNameStr(TraceName n) {
     case TraceName::kCtrRunning: return "running_branches";
     case TraceName::kCtrPreempted: return "preempted_branches";
     case TraceName::kCtrTokPerS: return "tokens_per_s";
+    case TraceName::kCtrHostStoredBytes: return "kv_host_stored_bytes";
   }
   return "?";
 }

@@ -42,6 +42,10 @@
 //   KV events (two-tier cache traffic):
 //     kKvEvictSwap / kKvEvictDrop        inst  req a=kv_len b=pages
 //     kKvRestoreSwap / kKvRestoreRecompute inst req a=kv_len
+//     kKvEncode     inst  host-codec encode at eviction (codec-on only);
+//                         req a=logical_bytes b=stored_bytes
+//     kKvDecode     inst  host-codec decode priced into the swap-in;
+//                         req a=kv_len b=decode_us
 //
 //   Copy streams (overlap-swap mode; "copy" track, spans may trail the last
 //   step — DMA completion is asynchronous):
@@ -63,7 +67,7 @@
 //
 //   Counters (sampled after every executed step):
 //     kCtrKvDevice kCtrKvHost kCtrQueueDepth kCtrRunning kCtrPreempted
-//     kCtrTokPerS   v=value
+//     kCtrTokPerS kCtrHostStoredBytes   v=value
 #pragma once
 
 #include <cstddef>
@@ -105,6 +109,8 @@ enum class TraceName : uint8_t {
   kKvEvictDrop,
   kKvRestoreSwap,
   kKvRestoreRecompute,
+  kKvEncode,
+  kKvDecode,
   kReqMigrateOut,
   kRouteDecision,
   kSloAlert,
@@ -116,6 +122,7 @@ enum class TraceName : uint8_t {
   kCtrRunning,
   kCtrPreempted,
   kCtrTokPerS,
+  kCtrHostStoredBytes,
 };
 
 /// Stable display name (also the Perfetto slice / counter-track name).

@@ -202,6 +202,13 @@ void ServingEngine::PublishStepTelemetry(int64_t step_output_tokens,
       ->Set(now_s_, static_cast<double>(kv_tokens_in_use_));
   telemetry_->GetGauge("fi_kv_host_tokens")
       ->Set(now_s_, static_cast<double>(host_kv_tokens_in_use_));
+  // Estimated bytes the host tier actually stores for the resident logical
+  // tokens (logical KV bytes scaled by the cache's observed codec ratio;
+  // exactly the logical bytes with the codec off).
+  telemetry_->GetGauge("fi_kv_host_stored_bytes")
+      ->Set(now_s_, static_cast<double>(host_kv_tokens_in_use_) *
+                        cfg_.model.KvBytesPerToken(cfg_.backend.kv_dtype) *
+                        CodecRatioEstimate());
   telemetry_->GetGauge("fi_queue_depth")->Set(now_s_, static_cast<double>(pending_.size()));
   telemetry_->GetGauge("fi_running_branches")
       ->Set(now_s_, static_cast<double>(running_.size()));
@@ -264,9 +271,13 @@ void ServingEngine::Reset() {
             ? host_kv_token_budget_ / cfg_.page_size +
                   static_cast<int64_t>(cfg_.max_running) * 2 + 64
             : 0;
-    spec_kv_ = std::make_unique<PagedKVCache>(DType::kF16, /*num_kv_heads=*/1,
-                                              /*head_dim=*/1, cfg_.page_size, pages,
-                                              host_pages);
+    // Synthetic fill only matters with the codec on: it gives the encoder
+    // real element payloads (for compression ratio and the quantization-MSE
+    // proxy) without perturbing the codec-off structural-only fast path.
+    spec_kv_ = std::make_unique<PagedKVCache>(
+        DType::kF16, /*num_kv_heads=*/1, /*head_dim=*/1, cfg_.page_size, pages,
+        host_pages, cfg_.preemption.host_codec,
+        /*synthetic_fill=*/cfg_.preemption.host_codec.enabled());
   }
 }
 
@@ -578,13 +589,45 @@ void ServingEngine::AdmitMigratedUnit(const MigrationUnit& u,
   prefilling_.push_back(std::move(pp));
 }
 
-double ServingEngine::SwapUs(int64_t tokens) const {
+double ServingEngine::SwapXferUs(int64_t tokens, double stored_ratio) const {
+  // PCIe time for the bytes that actually cross the link: with the host
+  // codec on, that is the *stored* (quantized/compressed) byte count, i.e.
+  // the logical KV bytes scaled by stored_ratio. Latency and per-page
+  // overhead are unaffected by the codec.
   const double bytes = static_cast<double>(tokens) *
-                       cfg_.model.KvBytesPerToken(cfg_.backend.kv_dtype);
+                       cfg_.model.KvBytesPerToken(cfg_.backend.kv_dtype) *
+                       stored_ratio;
   const double pages = std::ceil(static_cast<double>(tokens) / cfg_.page_size);
   return cfg_.preemption.swap_latency_us +
          pages * cfg_.preemption.swap_page_overhead_us +
          bytes / (cfg_.preemption.swap_gbps * 1e3);
+}
+
+double ServingEngine::CodecUs(int64_t tokens, double gbps) const {
+  // Encode/decode touches every logical byte regardless of how small the
+  // stored blob ends up. Zero with the codec off, so codec-off swap pricing
+  // is bit-identical to the plain two-tier path.
+  if (!cfg_.preemption.host_codec.enabled()) return 0.0;
+  const double bytes = static_cast<double>(tokens) *
+                       cfg_.model.KvBytesPerToken(cfg_.backend.kv_dtype);
+  return bytes / (gbps * 1e3);
+}
+
+double ServingEngine::SwapOutUs(int64_t tokens, double stored_ratio) const {
+  return SwapXferUs(tokens, stored_ratio) +
+         CodecUs(tokens, cfg_.preemption.codec_encode_gbps);
+}
+
+double ServingEngine::SwapInUs(int64_t tokens, double stored_ratio) const {
+  return SwapXferUs(tokens, stored_ratio) +
+         CodecUs(tokens, cfg_.preemption.codec_decode_gbps);
+}
+
+double ServingEngine::CodecRatioEstimate() const {
+  // Prospective stored/logical ratio for branches not yet evicted: the
+  // cache's cumulative observed ratio (falls back to the worst-case encoded
+  // bound before any eviction; exactly 1.0 with the codec off).
+  return spec_kv_ ? spec_kv_->ObservedStoredRatio() : 1.0;
 }
 
 double ServingEngine::RecomputeEstimateUs(int64_t kv_len) const {
@@ -697,7 +740,20 @@ void ServingEngine::RestorePreempted() {
       // keeps stepping under the DMA. The structural pages come back when
       // the transfer completes.
       host_kv_tokens_in_use_ -= b.kv_len;
-      const double t_us = SwapUs(b.kv_len);
+      // Swap-in moves the branch's *stored* bytes (realized ratio captured
+      // at eviction) and pays the decode pass to re-materialize the pages;
+      // both ride inside t_us so the legacy and overlap paths price alike.
+      const double t_us = SwapInUs(b.kv_len, p.stored_ratio);
+      const double decode_ms =
+          CodecUs(b.kv_len, cfg_.preemption.codec_decode_gbps) * 1e-3;
+      metrics_.codec_decode_ms += decode_ms;
+      if (telemetry_) {
+        telemetry_->GetCounter("fi_codec_decode_ms_total")->Inc(now_s_, decode_ms);
+      }
+      if (cfg_.preemption.host_codec.enabled()) {
+        TraceInstant(obs::TraceName::kKvDecode, b.request_id, b.kv_len,
+                     static_cast<int64_t>(decode_ms * 1e3));
+      }
       if (cfg_.preemption.overlap_swap) {
         // The host copy must fully exist before it can stream back.
         const double issue_s = std::max(now_s_, p.swapout_done_s);
@@ -793,16 +849,30 @@ void ServingEngine::PreemptBranch(size_t running_idx) {
   switch (cfg_.preemption.restore) {
     case RestorePolicy::kSwap: swap = true; break;
     case RestorePolicy::kRecompute: swap = false; break;
-    case RestorePolicy::kAuto:
-      swap = 2.0 * SwapUs(b.kv_len) < RecomputeEstimateUs(b.kv_len);
+    case RestorePolicy::kAuto: {
+      // Price the round trip on the bytes that will actually move: stored
+      // bytes for both transfers (via the cache's observed ratio) plus the
+      // encode/decode passes over the logical bytes. Codec-off this reduces
+      // exactly to the historical 2*SwapUs(kv_len) crossover.
+      const double est = CodecRatioEstimate();
+      swap = SwapOutUs(b.kv_len, est) + SwapInUs(b.kv_len, est) <
+             RecomputeEstimateUs(b.kv_len);
       break;
+    }
   }
-  if (swap && host_kv_tokens_in_use_ + b.kv_len > host_kv_token_budget_) swap = false;
-  // Page-granular gate: many short evicted branches can exhaust the host
-  // *page* pool (one page each) long before the token budget — per the
-  // PagedKVCache contract, gate on num_free_host_pages before evicting.
+  // Logical-token budget gate: with the codec on, host capacity is metered
+  // in stored bytes (HostCanHold below), so the logical token count may
+  // legitimately exceed the nominal budget by the compression factor.
+  if (swap && !cfg_.preemption.host_codec.enabled() &&
+      host_kv_tokens_in_use_ + b.kv_len > host_kv_token_budget_) {
+    swap = false;
+  }
+  // Capacity gate: many short evicted branches can exhaust the host pool
+  // (one page each) long before the token budget — per the PagedKVCache
+  // contract, check admissibility before evicting. Codec-off this is the
+  // free-host-page check; codec-on it meters worst-case stored bytes.
   if (swap && spec_kv_ && b.spec_seq >= 0 &&
-      spec_kv_->num_free_host_pages() < spec_kv_->ExclusivePages(b.spec_seq)) {
+      !spec_kv_->HostCanHold(spec_kv_->ExclusivePages(b.spec_seq))) {
     swap = false;
   }
 
@@ -816,7 +886,45 @@ void ServingEngine::PreemptBranch(size_t running_idx) {
   p.evicted_s = now_s_;
   if (swap) {
     host_kv_tokens_in_use_ += b.kv_len;
-    const double t_us = SwapUs(b.kv_len);
+    // Evict (and encode) first: the codec runs at eviction time, so the
+    // branch's transfers are priced on its *realized* stored/logical ratio —
+    // the observed-ratio estimate only steers the kAuto decision above.
+    double stored_ratio = 1.0;
+    if (spec_kv_ && b.spec_seq >= 0) {
+      const auto st = spec_kv_->EvictSequenceEx(b.spec_seq);
+      if (st.logical_bytes > 0) {
+        stored_ratio = static_cast<double>(st.stored_bytes) /
+                       static_cast<double>(st.logical_bytes);
+      }
+      const double logical_bytes =
+          static_cast<double>(b.kv_len) *
+          cfg_.model.KvBytesPerToken(cfg_.backend.kv_dtype);
+      const double stored_bytes = logical_bytes * stored_ratio;
+      const double encode_ms =
+          CodecUs(b.kv_len, cfg_.preemption.codec_encode_gbps) * 1e-3;
+      metrics_.evicted_logical_bytes += logical_bytes;
+      metrics_.evicted_stored_bytes += stored_bytes;
+      metrics_.codec_encode_ms += encode_ms;
+      metrics_.quant_mse_sum += st.mse_sum;
+      metrics_.quant_mse_pages += st.mse_pages;
+      if (telemetry_) {
+        telemetry_->GetCounter("fi_kv_evicted_logical_bytes_total")
+            ->Inc(now_s_, logical_bytes);
+        telemetry_->GetCounter("fi_kv_evicted_stored_bytes_total")
+            ->Inc(now_s_, stored_bytes);
+        telemetry_->GetCounter("fi_codec_encode_ms_total")->Inc(now_s_, encode_ms);
+        telemetry_->GetCounter("fi_quant_mse_sum_total")->Inc(now_s_, st.mse_sum);
+        telemetry_->GetCounter("fi_quant_mse_pages_total")
+            ->Inc(now_s_, static_cast<double>(st.mse_pages));
+      }
+      if (cfg_.preemption.host_codec.enabled()) {
+        TraceInstant(obs::TraceName::kKvEncode, b.request_id,
+                     static_cast<int64_t>(logical_bytes),
+                     static_cast<int64_t>(stored_bytes));
+      }
+    }
+    p.stored_ratio = stored_ratio;
+    const double t_us = SwapOutUs(b.kv_len, stored_ratio);
     if (cfg_.preemption.overlap_swap) {
       // Async D2H: the eviction itself blocks nothing — the freed budget is
       // usable immediately (the victim's pages are a snapshot in flight),
@@ -831,7 +939,6 @@ void ServingEngine::PreemptBranch(size_t running_idx) {
     }
     metrics_.total_swap_ms += t_us * 1e-3;
     if (telemetry_) telemetry_->GetCounter("fi_swap_ms_total")->Inc(now_s_, t_us * 1e-3);
-    if (spec_kv_ && b.spec_seq >= 0) spec_kv_->EvictSequence(b.spec_seq);
   } else if (spec_kv_ && b.spec_seq >= 0) {
     // Dropped for recompute: the structural pages free immediately; a fresh
     // sequence is rebuilt when the recompute restore completes.
@@ -1246,11 +1353,15 @@ void ServingEngine::ExecuteStepPlan(const StepPlan& plan) {
       Branch b = p.branch;
       if (spec_kv_) {
         if (p.swap_restore && b.spec_seq >= 0) {
-          const int64_t pages = spec_kv_->RestoreSequence(b.spec_seq);
-          metrics_.restored_pages += pages;
+          const auto st = spec_kv_->RestoreSequenceEx(b.spec_seq);
+          // The engine re-reserved the branch's full budget before queueing
+          // the restore, so the structural device pool can never come up
+          // short here (RestoreSequenceEx returns pages == -1 if it would).
+          FI_CHECK_GE(st.pages, 0);
+          metrics_.restored_pages += st.pages;
           if (telemetry_) {
             telemetry_->GetCounter("fi_restored_pages_total")
-                ->Inc(now_s_, static_cast<double>(pages));
+                ->Inc(now_s_, static_cast<double>(st.pages));
           }
         } else {
           b.spec_seq = spec_kv_->CreateSequence();
@@ -1285,6 +1396,10 @@ void ServingEngine::ExecuteStepPlan(const StepPlan& plan) {
                  static_cast<double>(kv_tokens_in_use_));
     TraceCounter(obs::TraceName::kCtrKvHost,
                  static_cast<double>(host_kv_tokens_in_use_));
+    TraceCounter(obs::TraceName::kCtrHostStoredBytes,
+                 static_cast<double>(host_kv_tokens_in_use_) *
+                     cfg_.model.KvBytesPerToken(cfg_.backend.kv_dtype) *
+                     CodecRatioEstimate());
     TraceCounter(obs::TraceName::kCtrQueueDepth,
                  static_cast<double>(pending_.size()));
     TraceCounter(obs::TraceName::kCtrRunning, static_cast<double>(running_.size()));

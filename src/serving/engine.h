@@ -134,6 +134,19 @@ struct PreemptionConfig {
   /// Off by default: the legacy serialize-into-step model stays
   /// bit-identical.
   bool overlap_swap = false;
+  /// Host-tier page codec: quantize (INT8/FP8, per-page scale/zero) and/or
+  /// LZ4-compress pages on eviction so `host_capacity_gb` measures *stored*
+  /// bytes and the tier's effective capacity multiplies. Restores decode the
+  /// pages; decode time is priced into the restore transfer (CopyStream path
+  /// included) and the per-page quantization MSE lands in ServingMetrics as
+  /// the accuracy proxy. Default-disabled: the raw two-tier path is
+  /// bit-identical to the pre-codec engine.
+  KvCodecConfig host_codec;
+  /// Codec throughput for pricing encode (evict) / decode (restore) time,
+  /// GB/s over the page's *logical* bytes. Decode is cheaper than encode
+  /// (no min/max scan, no match search).
+  double codec_encode_gbps = 32.0;
+  double codec_decode_gbps = 48.0;
 };
 
 struct EngineConfig {
@@ -431,6 +444,10 @@ class ServingEngine {
     /// A swap-in of this branch cannot be issued before its host copy
     /// exists; 0 in legacy mode (the swap-out already serialized).
     double swapout_done_s = 0.0;
+    /// Realized stored/logical byte ratio of this branch's encoded host
+    /// pages, captured at evict time — the swap-in prices the *stored*
+    /// bytes it will actually move (1.0 with the codec off).
+    double stored_ratio = 1.0;
   };
 
   /// One step's assembled work: which prefill chunks run and whether the
@@ -486,8 +503,20 @@ class ServingEngine {
   /// Re-materializes a restored branch into running_.
   void ResumeBranch(const Branch& b);
 
-  /// PCIe transfer time for `tokens` of KV, microseconds.
-  double SwapUs(int64_t tokens) const;
+  /// PCIe transfer time for `tokens` of KV scaled to `stored_ratio` of its
+  /// logical bytes (the codec tier moves encoded bytes), microseconds.
+  double SwapXferUs(int64_t tokens, double stored_ratio) const;
+  /// Codec time over `tokens`' logical KV bytes at `gbps`, microseconds
+  /// (0 with the codec off).
+  double CodecUs(int64_t tokens, double gbps) const;
+  /// Full swap-out price: D2H transfer of stored bytes + encode time.
+  double SwapOutUs(int64_t tokens, double stored_ratio) const;
+  /// Full swap-in price: H2D transfer of stored bytes + decode time.
+  double SwapInUs(int64_t tokens, double stored_ratio) const;
+  /// Stored/logical ratio estimate for pricing decisions made *before* the
+  /// encode happens (kAuto crossover): the structural tier's observed ratio,
+  /// worst-case bound before any eviction, 1.0 with the codec off.
+  double CodecRatioEstimate() const;
 
   /// Estimated marginal cost of rebuilding `kv_len` context tokens via
   /// chunked prefill (GEMM above the weight-streaming floor the ride-along

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "obs/stats.h"
@@ -107,6 +108,23 @@ struct ServingMetrics {
   /// Sum over work steps of preempted branches waiting out the step — the
   /// stall a victim's user experiences, analogous to itl_stall_steps.
   int64_t preempt_stall_steps = 0;
+  /// --- Host-tier codec (populated when PreemptionConfig::host_codec is
+  /// enabled; all zero otherwise). Byte totals are model-level KV bytes
+  /// (tokens * KvBytesPerToken), scaled by the structural tier's realized
+  /// encode ratio for the stored side. ------------------------------------
+  /// Logical KV bytes of every page swapped out to the host tier.
+  double evicted_logical_bytes = 0.0;
+  /// Encoded bytes those pages actually occupied in the host tier.
+  double evicted_stored_bytes = 0.0;
+  /// Time spent encoding pages on eviction, ms (priced into swap-out).
+  double codec_encode_ms = 0.0;
+  /// Time spent decoding pages on restore, ms (priced into the restore
+  /// transfer, overlap-swap CopyStream path included).
+  double codec_decode_ms = 0.0;
+  /// Accuracy proxy: sum of per-page quantization MSE over every page the
+  /// codec quantized on eviction, and the page count it sums over.
+  double quant_mse_sum = 0.0;
+  int64_t quant_mse_pages = 0;
   /// Request priority per TTFT sample (parallel to ttft_ms) so benches can
   /// split latency tails by priority class under KV pressure.
   std::vector<int> ttft_priority;
@@ -208,16 +226,38 @@ struct ServingMetrics {
   }
 
   // --- Preemption derived metrics ------------------------------------------
-  /// Fraction of swap transfer time hidden under executed compute steps
-  /// (0 when no swap traffic; 1.0 = every transferred byte overlapped).
-  double SwapOverlapEfficiency() const {
-    return total_swap_ms > 0.0 ? swap_hidden_ms / total_swap_ms : 0.0;
+  /// Fraction of swap transfer time hidden under executed compute steps.
+  /// nullopt when no swap traffic occurred at all — distinct from 0.0, which
+  /// means transfers happened and NONE overlapped (legacy serialization).
+  /// Callers that conflated the two read a perfect-looking 0 "efficiency"
+  /// out of runs that never swapped; use value_or(0.0) only where that is
+  /// actually the right collapse (e.g. summing stall budgets).
+  std::optional<double> SwapOverlapEfficiency() const {
+    if (total_swap_ms <= 0.0) return std::nullopt;
+    return swap_hidden_ms / total_swap_ms;
   }
 
   /// Fraction of migration transfer time hidden under executed compute steps
-  /// on the importing replica (0 when no migration traffic).
-  double MigrationOverlapEfficiency() const {
-    return total_migration_ms > 0.0 ? migration_hidden_ms / total_migration_ms : 0.0;
+  /// on the importing replica. nullopt when no migration traffic occurred
+  /// (same disambiguation as SwapOverlapEfficiency).
+  std::optional<double> MigrationOverlapEfficiency() const {
+    if (total_migration_ms <= 0.0) return std::nullopt;
+    return migration_hidden_ms / total_migration_ms;
+  }
+
+  // --- Host-tier codec derived metrics -------------------------------------
+  /// Stored/logical byte ratio of everything evicted to the host tier
+  /// (1.0 when nothing was evicted or the codec is off). The capacity
+  /// multiplier of the codec tier is the reciprocal.
+  double HostStoredRatio() const {
+    return evicted_logical_bytes > 0.0 ? evicted_stored_bytes / evicted_logical_bytes
+                                       : 1.0;
+  }
+  /// Mean per-page quantization MSE over every page quantized on eviction
+  /// (the accuracy proxy; 0 when the quantizer never ran).
+  double MeanPageQuantMse() const {
+    return quant_mse_pages > 0 ? quant_mse_sum / static_cast<double>(quant_mse_pages)
+                               : 0.0;
   }
 
   /// TTFT percentile over requests of one priority class (p in [0,1]).

@@ -442,8 +442,8 @@ TEST(DisaggCluster, MigratesCompletesAndAccountsExactly) {
   EXPECT_GT(m.decode_pool.total_migration_ms, 0.0);
   EXPECT_LE(m.decode_pool.migration_hidden_ms,
             m.decode_pool.total_migration_ms + 1e-9);
-  EXPECT_GE(m.decode_pool.MigrationOverlapEfficiency(), 0.0);
-  EXPECT_LE(m.decode_pool.MigrationOverlapEfficiency(), 1.0 + 1e-9);
+  EXPECT_GE(m.decode_pool.MigrationOverlapEfficiency().value_or(0.0), 0.0);
+  EXPECT_LE(m.decode_pool.MigrationOverlapEfficiency().value_or(0.0), 1.0 + 1e-9);
 }
 
 // Decode-pool rejection fallback: when no decode replica has KV headroom

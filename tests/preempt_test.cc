@@ -420,8 +420,8 @@ TEST(Preemption, OverlapSwapHidesTransferTimeAndDrainsClean) {
   // Under a busy engine, most transfer time overlaps attention.
   EXPECT_GT(m.swap_hidden_ms, 0.0);
   EXPECT_LE(m.swap_hidden_ms, m.total_swap_ms * (1.0 + 1e-9));
-  EXPECT_GE(m.SwapOverlapEfficiency(), 0.0);
-  EXPECT_LE(m.SwapOverlapEfficiency(), 1.0 + 1e-9);
+  EXPECT_GE(m.SwapOverlapEfficiency().value_or(0.0), 0.0);
+  EXPECT_LE(m.SwapOverlapEfficiency().value_or(0.0), 1.0 + 1e-9);
   // All of the two-tier accounting still closes out.
   EXPECT_EQ(m.num_swap_restores, m.num_preemptions);
   EXPECT_EQ(m.restored_pages, m.evicted_pages);
@@ -561,6 +561,170 @@ TEST(RouterHeadroom, PrefixAffinityShedsFromPressuredTarget) {
   views[0].kv_tokens_in_use = 9990;  // Pressure the affinity target.
   EXPECT_EQ(router->Route(r, views), 1);
   EXPECT_EQ(router->Stats().pressure_fallbacks, 1);
+}
+
+// --- Overlap-efficiency disambiguation ---------------------------------------
+
+// Regression: the accessors used to return 0.0 both when NO transfer occurred
+// and when transfers occurred but nothing was hidden — callers (bench gates,
+// report tables) could not tell the cases apart. Pin the optional contract.
+TEST(OverlapEfficiency, NoTrafficIsNulloptZeroHiddenIsZero) {
+  ServingMetrics m;
+  EXPECT_FALSE(m.SwapOverlapEfficiency().has_value());
+  EXPECT_FALSE(m.MigrationOverlapEfficiency().has_value());
+
+  m.total_swap_ms = 12.0;  // Traffic, nothing hidden: a real 0.0.
+  ASSERT_TRUE(m.SwapOverlapEfficiency().has_value());
+  EXPECT_DOUBLE_EQ(*m.SwapOverlapEfficiency(), 0.0);
+  m.swap_hidden_ms = 6.0;
+  EXPECT_DOUBLE_EQ(*m.SwapOverlapEfficiency(), 0.5);
+
+  m.total_migration_ms = 4.0;
+  ASSERT_TRUE(m.MigrationOverlapEfficiency().has_value());
+  EXPECT_DOUBLE_EQ(*m.MigrationOverlapEfficiency(), 0.0);
+  m.migration_hidden_ms = 4.0;
+  EXPECT_DOUBLE_EQ(*m.MigrationOverlapEfficiency(), 1.0);
+}
+
+// --- Host-tier codec (quantized + compressed swap) ---------------------------
+
+std::vector<Request> CodecWorkload() {
+  Rng rng(13);
+  auto reqs = serving::UniformWorkload(rng, 40, 25.0, 512, 1024, 96);
+  serving::AssignPriorities(rng, reqs, {0.7, 0.3});
+  return reqs;
+}
+
+// Codec-off must stay bit-identical to the pre-codec two-tier engine: the
+// codec throughput knobs must be dead config (pricing never reads them), no
+// codec metric may accrue beyond logical == stored, and the run must match a
+// default-config run number-for-number.
+TEST(KvCodec, CodecOffIsBitIdenticalAndIgnoresCodecKnobs) {
+  const auto reqs = CodecWorkload();
+  auto cfg = BaseConfig();
+  cfg.preemption.enabled = true;
+  cfg.preemption.restore = RestorePolicy::kSwap;
+  cfg.hbm_capacity_gb = HbmForBudget(cfg, 8000);
+  const auto base = ServingEngine(cfg).Run(reqs);
+  ASSERT_GT(base.num_preemptions, 0);
+
+  auto knobs = cfg;  // Codec still off: absurd codec speeds must change nothing.
+  knobs.preemption.codec_encode_gbps = 0.001;
+  knobs.preemption.codec_decode_gbps = 0.001;
+  const auto same = ServingEngine(knobs).Run(reqs);
+  EXPECT_DOUBLE_EQ(same.makespan_s, base.makespan_s);
+  EXPECT_DOUBLE_EQ(same.total_swap_ms, base.total_swap_ms);
+  EXPECT_EQ(same.num_swap_restores, base.num_swap_restores);
+  EXPECT_EQ(same.num_steps, base.num_steps);
+
+  EXPECT_DOUBLE_EQ(base.codec_encode_ms, 0.0);
+  EXPECT_DOUBLE_EQ(base.codec_decode_ms, 0.0);
+  EXPECT_EQ(base.quant_mse_pages, 0);
+  EXPECT_DOUBLE_EQ(base.evicted_stored_bytes, base.evicted_logical_bytes);
+  EXPECT_DOUBLE_EQ(base.HostStoredRatio(), 1.0);
+  EXPECT_DOUBLE_EQ(base.MeanPageQuantMse(), 0.0);
+}
+
+// Codec on: every invariant the raw tier keeps must still close out after
+// drain, and the codec series must be live — stored < logical bytes, encode
+// and decode time accrued (decode priced into restores), a nonzero bounded
+// accuracy proxy.
+TEST(KvCodec, QuantizedSwapConservesTokensAndMetersCodecSeries) {
+  const auto reqs = CodecWorkload();
+  auto cfg = BaseConfig();
+  cfg.preemption.enabled = true;
+  cfg.preemption.restore = RestorePolicy::kSwap;
+  cfg.preemption.host_codec = {KvQuantFormat::kInt8, /*compress=*/true};
+  cfg.hbm_capacity_gb = HbmForBudget(cfg, 8000);
+  ServingEngine engine(cfg);
+  const auto m = engine.Run(reqs);
+
+  ASSERT_GT(m.num_preemptions, 0);
+  ASSERT_GT(m.num_swap_restores, 0);
+  // Conservation: the two-tier token meters drain to zero.
+  EXPECT_EQ(engine.KvTokensInUse(), 0);
+  EXPECT_EQ(engine.HostKvTokensInUse(), 0);
+  EXPECT_EQ(engine.SpecKvLivePages(), 0);
+  EXPECT_EQ(m.restored_pages, m.evicted_pages);
+  // Codec series: encoded pages are strictly smaller than logical, both
+  // codec passes are priced, and the accuracy proxy is nonzero but bounded.
+  EXPECT_GT(m.evicted_logical_bytes, 0.0);
+  EXPECT_LT(m.evicted_stored_bytes, m.evicted_logical_bytes);
+  EXPECT_GT(m.HostStoredRatio(), 0.0);
+  EXPECT_LT(m.HostStoredRatio(), 1.0);
+  EXPECT_GT(m.codec_encode_ms, 0.0);
+  EXPECT_GT(m.codec_decode_ms, 0.0);
+  EXPECT_GT(m.quant_mse_pages, 0);
+  EXPECT_GT(m.MeanPageQuantMse(), 0.0);
+  EXPECT_LT(m.MeanPageQuantMse(), 1.0);  // Synthetic fill spans [-1, 1).
+}
+
+// Same workload with the same nominal host capacity: the codec tier must
+// admit at least as many swap restores as the raw tier (stored bytes shrink,
+// so effective capacity can only grow), and total swap_ms reflects the extra
+// encode/decode passes priced into each transfer.
+TEST(KvCodec, StoredByteMeteringMultipliesEffectiveHostCapacity) {
+  const auto reqs = CodecWorkload();
+  auto cfg = BaseConfig();
+  cfg.preemption.enabled = true;
+  cfg.preemption.restore = RestorePolicy::kSwap;
+  // Tight host tier: the raw path must be forced to drop some victims to
+  // recompute so codec headroom is observable.
+  cfg.preemption.host_capacity_gb = 0.3;
+  cfg.hbm_capacity_gb = HbmForBudget(cfg, 8000);
+  const auto raw = ServingEngine(cfg).Run(reqs);
+  ASSERT_GT(raw.num_preemptions, 0);
+  ASSERT_GT(raw.num_recompute_restores, 0);  // Host tier actually binds.
+
+  cfg.preemption.host_codec = {KvQuantFormat::kInt8, /*compress=*/true};
+  const auto enc = ServingEngine(cfg).Run(reqs);
+  ASSERT_GT(enc.num_preemptions, 0);
+  EXPECT_GT(enc.num_swap_restores, raw.num_swap_restores);
+  EXPECT_LT(enc.num_recompute_restores, raw.num_recompute_restores);
+}
+
+/// One forced preemption of a victim with context ~`ctx` under kAuto;
+/// returns whether the victim swapped (vs recomputed).
+bool AutoVictimSwapsAt(int64_t ctx, KvCodecConfig codec) {
+  auto cfg = BaseConfig();
+  cfg.preemption.enabled = true;
+  cfg.preemption.restore = RestorePolicy::kAuto;
+  cfg.preemption.host_codec = codec;
+  // Budget fits the victim's full reservation (ctx + 400 + slack) with
+  // ~1600 free tokens: the 2000-token high-priority arrival cannot admit
+  // without evicting the victim first.
+  cfg.hbm_capacity_gb = HbmForBudget(cfg, ctx + 2000);
+  std::vector<Request> reqs;
+  reqs.push_back(MakeReq(0, 0.0, ctx, 400, /*priority=*/0));  // Victim.
+  reqs.push_back(MakeReq(1, 0.4, 2000, 16, /*priority=*/1));  // Forces eviction.
+  const auto m = ServingEngine(cfg).Run(reqs);
+  EXPECT_GT(m.num_preemptions, 0) << "ctx=" << ctx;
+  return m.num_swap_restores > m.num_recompute_restores;
+}
+
+// kAuto regression: the crossover must price the actual stored bytes plus the
+// encode/decode passes. At default link/codec speeds the structural int8
+// bound (0.75x stored) plus two codec passes makes the swap round trip
+// strictly more expensive than the raw tier's, so the swap-wins crossover
+// shifts to longer contexts when quantization is on — contexts that swapped
+// codec-off must now recompute near the old crossover.
+TEST(KvCodec, AutoRestoreCrossoverShiftsWhenQuantizationOn) {
+  const KvCodecConfig int8{KvQuantFormat::kInt8, /*compress=*/false};
+  const std::vector<int64_t> ctxs = {512,  1024, 2048, 3072, 4096,
+                                     6144, 8192, 12288, 16384};
+  int64_t first_swap_off = -1, first_swap_on = -1;
+  for (const int64_t ctx : ctxs) {
+    if (first_swap_off < 0 && AutoVictimSwapsAt(ctx, {})) first_swap_off = ctx;
+    if (first_swap_on < 0 && AutoVictimSwapsAt(ctx, int8)) first_swap_on = ctx;
+    if (first_swap_off >= 0 && first_swap_on >= 0) break;
+  }
+  ASSERT_GT(first_swap_off, 0) << "kAuto never chose swap codec-off";
+  // Codec-on either crosses over strictly later or not at all in range.
+  if (first_swap_on >= 0) {
+    EXPECT_GT(first_swap_on, first_swap_off);
+  } else {
+    EXPECT_LE(first_swap_off, ctxs.back());
+  }
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <csignal>
 #include <unistd.h>
 #include <cstdio>
@@ -126,6 +127,13 @@ EngineConfig RandomConfig(Rng& rng) {
                                         : RestorePolicy::kAuto;
     cfg.preemption.host_capacity_gb = rng.NextDouble() < 0.3 ? 0.25 : 8.0;
     cfg.preemption.overlap_swap = rng.NextDouble() < 0.5;
+    // Host-tier codec on half the preempting trials: random quant format
+    // (incl. none = compress-only lossless) x compression coin-flip.
+    if (rng.NextDouble() < 0.5) {
+      cfg.preemption.host_codec.quant =
+          static_cast<KvQuantFormat>(rng.UniformInt(0, 3));
+      cfg.preemption.host_codec.compress = rng.NextDouble() < 0.5;
+    }
   }
   // Tight vs loose KV budget.
   cfg.hbm_capacity_gb = rng.NextDouble() < 0.55
@@ -248,12 +256,37 @@ void RunEngineTrial(uint64_t seed, bool check_step_equiv) {
   EXPECT_GE(m.swap_stall_ms, 0.0);
   if (cfg.preemption.overlap_swap) {
     EXPECT_LE(m.swap_hidden_ms, m.total_swap_ms * (1.0 + 1e-9));
-    EXPECT_GE(m.SwapOverlapEfficiency(), 0.0);
-    EXPECT_LE(m.SwapOverlapEfficiency(), 1.0 + 1e-9);
+    EXPECT_GE(m.SwapOverlapEfficiency().value_or(0.0), 0.0);
+    EXPECT_LE(m.SwapOverlapEfficiency().value_or(0.0), 1.0 + 1e-9);
   } else {
     EXPECT_DOUBLE_EQ(m.swap_hidden_ms, 0.0);
     EXPECT_NEAR(m.swap_stall_ms, m.total_swap_ms,
                 1e-9 * std::max(1.0, m.total_swap_ms));
+  }
+  // Host-codec accounting invariants across the random codec space.
+  const auto& codec = cfg.preemption.host_codec;
+  EXPECT_GE(m.evicted_stored_bytes, 0.0);
+  EXPECT_GE(m.codec_encode_ms, 0.0);
+  EXPECT_GE(m.codec_decode_ms, 0.0);
+  EXPECT_TRUE(std::isfinite(m.MeanPageQuantMse()));
+  EXPECT_GE(m.MeanPageQuantMse(), 0.0);
+  if (!codec.enabled()) {
+    // Codec off: the raw tier's byte series degenerate to logical == stored
+    // and no codec time or quantization error may accrue.
+    EXPECT_DOUBLE_EQ(m.evicted_stored_bytes, m.evicted_logical_bytes);
+    EXPECT_DOUBLE_EQ(m.codec_encode_ms, 0.0);
+    EXPECT_DOUBLE_EQ(m.codec_decode_ms, 0.0);
+    EXPECT_EQ(m.quant_mse_pages, 0);
+    EXPECT_DOUBLE_EQ(m.HostStoredRatio(), 1.0);
+  } else if (m.evicted_logical_bytes > 0.0) {
+    // Quantized pages store at most the int8/fp8 bound (< 1x of f16);
+    // compress-only pages may pay the blob header on incompressible data
+    // but never exceed the all-literals bound.
+    EXPECT_LE(m.HostStoredRatio(),
+              codec.quant != KvQuantFormat::kNone ? 1.0 : 1.5);
+    EXPECT_GT(m.evicted_stored_bytes, 0.0);
+    EXPECT_GT(m.codec_encode_ms, 0.0);
+    if (codec.quant == KvQuantFormat::kNone) EXPECT_EQ(m.quant_mse_pages, 0);
   }
 
   // The telemetry registry must reconcile with ServingMetrics on every
@@ -290,6 +323,20 @@ void RunEngineTrial(uint64_t seed, bool check_step_equiv) {
                 1e-9 * std::max(1.0, m.swap_stall_ms));
     EXPECT_NEAR(total("fi_swap_hidden_ms_total"), m.swap_hidden_ms,
                 1e-9 * std::max(1.0, m.swap_hidden_ms));
+    // Codec series counters shadow their metrics fields exactly (zero-valued
+    // but reconciled on codec-off trials).
+    EXPECT_NEAR(total("fi_kv_evicted_logical_bytes_total"), m.evicted_logical_bytes,
+                1e-9 * std::max(1.0, m.evicted_logical_bytes));
+    EXPECT_NEAR(total("fi_kv_evicted_stored_bytes_total"), m.evicted_stored_bytes,
+                1e-9 * std::max(1.0, m.evicted_stored_bytes));
+    EXPECT_NEAR(total("fi_codec_encode_ms_total"), m.codec_encode_ms,
+                1e-9 * std::max(1.0, m.codec_encode_ms));
+    EXPECT_NEAR(total("fi_codec_decode_ms_total"), m.codec_decode_ms,
+                1e-9 * std::max(1.0, m.codec_decode_ms));
+    EXPECT_NEAR(total("fi_quant_mse_sum_total"), m.quant_mse_sum,
+                1e-9 * std::max(1.0, m.quant_mse_sum));
+    EXPECT_DOUBLE_EQ(total("fi_quant_mse_pages_total"),
+                     static_cast<double>(m.quant_mse_pages));
     int64_t ttft_samples = 0, itl_samples = 0;
     for (const auto& [name, label_key] : reg->InstanceNames()) {
       if (name != "fi_ttft_ms" && name != "fi_itl_ms") continue;
